@@ -1,0 +1,137 @@
+//! A buffer-based rate controller (BBA-0 style), as an extra baseline.
+//!
+//! Not part of the paper's comparison set, but a standard point in the HAS
+//! design space (Huang et al., SIGCOMM 2014): ignore throughput estimates
+//! entirely and map the current buffer level linearly onto the ladder
+//! between a *reservoir* and a *cushion*. Useful for ablations that
+//! separate "what does buffer feedback buy" from "what does network
+//! coordination buy".
+
+use flare_has::{AdaptContext, Level, RateAdapter};
+use flare_sim::TimeDelta;
+
+/// BBA parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferBasedConfig {
+    /// Below this buffer level the lowest encoding is always chosen.
+    pub reservoir: TimeDelta,
+    /// At or above `reservoir + cushion` the highest encoding is chosen;
+    /// in between the level rises linearly.
+    pub cushion: TimeDelta,
+}
+
+impl Default for BufferBasedConfig {
+    /// 10 s reservoir, 20 s cushion — matched to the default 30 s player
+    /// request threshold.
+    fn default() -> Self {
+        BufferBasedConfig {
+            reservoir: TimeDelta::from_secs(10),
+            cushion: TimeDelta::from_secs(20),
+        }
+    }
+}
+
+/// The BBA-0 controller: `level = f(buffer)` with a linear map.
+#[derive(Debug, Clone)]
+pub struct BufferBased {
+    config: BufferBasedConfig,
+}
+
+impl BufferBased {
+    /// Creates a BBA controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cushion is zero (the map would be a step function).
+    pub fn new(config: BufferBasedConfig) -> Self {
+        assert!(!config.cushion.is_zero(), "cushion must be non-zero");
+        BufferBased { config }
+    }
+}
+
+impl Default for BufferBased {
+    fn default() -> Self {
+        BufferBased::new(BufferBasedConfig::default())
+    }
+}
+
+impl RateAdapter for BufferBased {
+    fn next_level(&mut self, ctx: &AdaptContext) -> Level {
+        let buffered = ctx.buffer_level;
+        if buffered <= self.config.reservoir {
+            return ctx.ladder.lowest();
+        }
+        let above = buffered - self.config.reservoir;
+        let frac =
+            (above.as_secs_f64() / self.config.cushion.as_secs_f64()).clamp(0.0, 1.0);
+        let top = ctx.ladder.highest().index() as f64;
+        Level::new((frac * top).floor() as usize)
+    }
+
+    fn name(&self) -> &'static str {
+        "buffer-based"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_has::BitrateLadder;
+    use flare_sim::Time;
+
+    fn ctx(ladder: &BitrateLadder, buffer_secs: u64) -> AdaptContext<'_> {
+        AdaptContext {
+            now: Time::ZERO,
+            ladder,
+            buffer_level: TimeDelta::from_secs(buffer_secs),
+            last_level: Some(Level::new(2)),
+            segment_duration: TimeDelta::from_secs(10),
+            segment_index: 3,
+        }
+    }
+
+    #[test]
+    fn reservoir_pins_to_lowest() {
+        let ladder = BitrateLadder::simulation();
+        let mut b = BufferBased::default();
+        assert_eq!(b.next_level(&ctx(&ladder, 0)), Level::new(0));
+        assert_eq!(b.next_level(&ctx(&ladder, 10)), Level::new(0));
+    }
+
+    #[test]
+    fn full_cushion_reaches_the_top() {
+        let ladder = BitrateLadder::simulation();
+        let mut b = BufferBased::default();
+        assert_eq!(b.next_level(&ctx(&ladder, 30)), ladder.highest());
+        assert_eq!(b.next_level(&ctx(&ladder, 60)), ladder.highest());
+    }
+
+    #[test]
+    fn map_is_monotone_in_buffer() {
+        let ladder = BitrateLadder::simulation();
+        let mut b = BufferBased::default();
+        let mut prev = Level::new(0);
+        for secs in 0..=40 {
+            let l = b.next_level(&ctx(&ladder, secs));
+            assert!(l >= prev, "non-monotone at {secs}s");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn midpoint_lands_mid_ladder() {
+        let ladder = BitrateLadder::simulation();
+        let mut b = BufferBased::default();
+        // 20 s buffered = half the cushion -> floor(0.5 * 5) = level 2.
+        assert_eq!(b.next_level(&ctx(&ladder, 20)), Level::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cushion")]
+    fn zero_cushion_panics() {
+        let _ = BufferBased::new(BufferBasedConfig {
+            reservoir: TimeDelta::from_secs(5),
+            cushion: TimeDelta::ZERO,
+        });
+    }
+}

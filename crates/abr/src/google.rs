@@ -1,0 +1,164 @@
+//! The MPEG-DASH/Media Source demo player — "GOOGLE" in the paper.
+
+use flare_has::estimator::{DualWindow, ThroughputEstimator, ThroughputSample};
+use flare_has::{AdaptContext, DownloadSample, Level, RateAdapter};
+use flare_sim::units::Rate;
+
+/// GOOGLE parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoogleConfig {
+    /// Long-window length in segments (`b^l`).
+    pub long_window: usize,
+    /// Short-window length in segments (`b^s`).
+    pub short_window: usize,
+    /// Safety factor: select the highest rate `≤ safety · min(b^l, b^s)`.
+    pub safety: f64,
+}
+
+impl Default for GoogleConfig {
+    fn default() -> Self {
+        GoogleConfig {
+            long_window: 20,
+            short_window: 5,
+            safety: 0.85,
+        }
+    }
+}
+
+/// The reference player's rate control: two arithmetic-mean bandwidth
+/// estimates over long- and short-term histories, then "the highest
+/// available video rate ≤ 0.85 · min(b^l, b^s)" (Section IV-A).
+///
+/// Unlike FESTIVE there is no gradual switching and no stability score: the
+/// player jumps straight to the computed level. That aggressiveness is what
+/// produces the frequent re-buffering the paper observes (Figure 4b).
+#[derive(Debug, Clone)]
+pub struct Google {
+    config: GoogleConfig,
+    estimator: DualWindow,
+}
+
+impl Google {
+    /// Creates the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows are invalid or `safety` is not in `(0, 1]`.
+    pub fn new(config: GoogleConfig) -> Self {
+        assert!(
+            config.safety > 0.0 && config.safety <= 1.0,
+            "safety factor must be in (0, 1]"
+        );
+        let estimator = DualWindow::new(config.long_window, config.short_window);
+        Google { config, estimator }
+    }
+}
+
+impl Default for Google {
+    fn default() -> Self {
+        Google::new(GoogleConfig::default())
+    }
+}
+
+impl RateAdapter for Google {
+    fn on_download_complete(&mut self, sample: DownloadSample) {
+        self.estimator.record(ThroughputSample {
+            bytes: sample.bytes,
+            elapsed: sample.elapsed,
+        });
+    }
+
+    fn next_level(&mut self, ctx: &AdaptContext) -> Level {
+        match self.estimator.estimate() {
+            None => ctx.ladder.lowest(),
+            Some(est) => {
+                let budget = Rate::from_bps(est.as_bps() * self.config.safety);
+                ctx.ladder.highest_at_most_or_lowest(budget)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "google"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_has::BitrateLadder;
+    use flare_sim::{Time, TimeDelta};
+
+    fn ctx<'a>(ladder: &'a BitrateLadder, last: Option<Level>) -> AdaptContext<'a> {
+        AdaptContext {
+            now: Time::ZERO,
+            ladder,
+            buffer_level: TimeDelta::from_secs(15),
+            last_level: last,
+            segment_duration: TimeDelta::from_secs(10),
+            segment_index: 0,
+        }
+    }
+
+    fn feed(g: &mut Google, mbps: f64) {
+        g.on_download_complete(DownloadSample {
+            completed_at: Time::ZERO,
+            level: Level::new(0),
+            bytes: Rate::from_mbps(mbps).bytes_over(TimeDelta::from_secs(1)),
+            elapsed: TimeDelta::from_secs(1),
+        });
+    }
+
+    #[test]
+    fn starts_at_lowest_without_history() {
+        let ladder = BitrateLadder::testbed();
+        let mut g = Google::default();
+        assert_eq!(g.next_level(&ctx(&ladder, None)), Level::new(0));
+    }
+
+    #[test]
+    fn applies_safety_factor_to_min_estimate() {
+        let ladder = BitrateLadder::testbed();
+        let mut g = Google::default();
+        for _ in 0..10 {
+            feed(&mut g, 1.0); // 1 Mbps steady
+        }
+        // 0.85 Mbps budget -> 790 kbps (level 3).
+        assert_eq!(g.next_level(&ctx(&ladder, Some(Level::new(0)))), Level::new(3));
+    }
+
+    #[test]
+    fn jumps_multiple_levels_at_once() {
+        let ladder = BitrateLadder::testbed();
+        let mut g = Google::default();
+        for _ in 0..10 {
+            feed(&mut g, 4.0);
+        }
+        // 3.4 Mbps budget -> top of the ladder, straight from level 0:
+        // the aggressiveness FESTIVE's gradual switching avoids.
+        assert_eq!(g.next_level(&ctx(&ladder, Some(Level::new(0)))), Level::new(7));
+    }
+
+    #[test]
+    fn short_window_dips_pull_the_estimate_down() {
+        let ladder = BitrateLadder::testbed();
+        let mut g = Google::default();
+        for _ in 0..10 {
+            feed(&mut g, 4.0);
+        }
+        for _ in 0..5 {
+            feed(&mut g, 0.4); // a short outage filling the 5-sample window
+        }
+        // Short window now sees 0.4 Mbps: budget 0.34 Mbps -> 310 kbps.
+        assert_eq!(g.next_level(&ctx(&ladder, Some(Level::new(7)))), Level::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "safety factor")]
+    fn invalid_safety_panics() {
+        let _ = Google::new(GoogleConfig {
+            safety: 0.0,
+            ..GoogleConfig::default()
+        });
+    }
+}

@@ -1,0 +1,75 @@
+//! The assignment cell shared between a network-side controller and a
+//! client-side adapter.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use flare_has::Level;
+
+/// A shared, single-writer cell carrying the most recent network-assigned
+/// encoding level for one flow.
+///
+/// The FLARE plugin reads it on every segment request; the harness writes it
+/// whenever the OneAPI server publishes a new assignment. Simulations are
+/// single-threaded, so a `Rc<Cell<_>>` suffices.
+///
+/// # Example
+///
+/// ```
+/// use flare_abr::SharedAssignment;
+/// use flare_has::Level;
+///
+/// let network_side = SharedAssignment::new();
+/// let client_side = network_side.clone();
+/// assert_eq!(client_side.get(), None);
+/// network_side.set(Level::new(3));
+/// assert_eq!(client_side.get(), Some(Level::new(3)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedAssignment {
+    cell: Rc<Cell<Option<Level>>>,
+}
+
+impl SharedAssignment {
+    /// Creates an empty (unassigned) cell.
+    pub fn new() -> Self {
+        SharedAssignment::default()
+    }
+
+    /// Publishes a new assignment.
+    pub fn set(&self, level: Level) {
+        self.cell.set(Some(level));
+    }
+
+    /// Clears the assignment (e.g. the controlling server went away).
+    pub fn clear(&self) {
+        self.cell.set(None);
+    }
+
+    /// Reads the current assignment.
+    pub fn get(&self) -> Option<Level> {
+        self.cell.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedAssignment::new();
+        let b = a.clone();
+        a.set(Level::new(2));
+        assert_eq!(b.get(), Some(Level::new(2)));
+        b.set(Level::new(4));
+        assert_eq!(a.get(), Some(Level::new(4)));
+        a.clear();
+        assert_eq!(b.get(), None);
+    }
+
+    #[test]
+    fn fresh_cell_is_unassigned() {
+        assert_eq!(SharedAssignment::new().get(), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! Throughput-estimator benchmarks: the per-segment client-side cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flare_has::estimator::{
+    DualWindow, Ewma, HarmonicMean, SlidingMean, ThroughputEstimator, ThroughputSample,
+};
+use flare_sim::units::ByteCount;
+use flare_sim::TimeDelta;
+use std::hint::black_box;
+
+fn sample(i: u64) -> ThroughputSample {
+    ThroughputSample {
+        bytes: ByteCount::new(100_000 + (i * 7919) % 900_000),
+        elapsed: TimeDelta::from_millis(500 + (i * 131) % 9_500),
+    }
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimators");
+    group.sample_size(30);
+    group.bench_function("sliding_mean_record_estimate", |b| {
+        let mut est = SlidingMean::new(20);
+        let mut i = 0u64;
+        b.iter(|| {
+            est.record(sample(i));
+            i += 1;
+            black_box(est.estimate())
+        });
+    });
+    group.bench_function("harmonic_mean_record_estimate", |b| {
+        let mut est = HarmonicMean::new(20);
+        let mut i = 0u64;
+        b.iter(|| {
+            est.record(sample(i));
+            i += 1;
+            black_box(est.estimate())
+        });
+    });
+    group.bench_function("ewma_record_estimate", |b| {
+        let mut est = Ewma::new(0.3);
+        let mut i = 0u64;
+        b.iter(|| {
+            est.record(sample(i));
+            i += 1;
+            black_box(est.estimate())
+        });
+    });
+    group.bench_function("dual_window_record_estimate", |b| {
+        let mut est = DualWindow::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            est.record(sample(i));
+            i += 1;
+            black_box(est.estimate())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

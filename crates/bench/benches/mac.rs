@@ -1,0 +1,67 @@
+//! Per-TTI MAC scheduler benchmarks.
+//!
+//! Every simulated second costs 1000 scheduler invocations, so scheduler
+//! throughput bounds how fast the paper's 1200 s × 20-run sweeps execute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flare_lte::channel::StaticChannel;
+use flare_lte::scheduler::{
+    MacScheduler, PrioritySetScheduler, ProportionalFair, StrictGbrPartition, TwoPhaseGbr,
+};
+use flare_lte::{CellConfig, ENodeB, FlowClass, Itbs};
+use flare_sim::units::{ByteCount, Rate};
+use flare_sim::Time;
+use std::hint::black_box;
+
+fn build_cell(scheduler: Box<dyn MacScheduler>, n_video: usize, n_data: usize) -> ENodeB {
+    let mut enb = ENodeB::new(CellConfig::default(), scheduler);
+    for i in 0..n_video {
+        let f = enb.add_flow(
+            FlowClass::Video,
+            Box::new(StaticChannel::new(Itbs::new((4 + i % 20) as u8))),
+        );
+        enb.set_gbr(f, Some(Rate::from_kbps(500.0)));
+        enb.push_backlog(f, ByteCount::new(u64::MAX / 4));
+    }
+    for i in 0..n_data {
+        enb.add_flow(
+            FlowClass::Data,
+            Box::new(StaticChannel::new(Itbs::new((2 + i % 24) as u8))),
+        );
+    }
+    enb
+}
+
+type SchedulerFactory = fn() -> Box<dyn MacScheduler>;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mac_tti");
+    group.sample_size(20);
+    let make: Vec<(&str, SchedulerFactory)> = vec![
+        ("pf", || Box::new(ProportionalFair::default())),
+        ("two-phase-gbr", || Box::new(TwoPhaseGbr::default())),
+        ("priority-set", || Box::new(PrioritySetScheduler::default())),
+        ("strict-partition", || Box::new(StrictGbrPartition::default())),
+    ];
+    for (name, mk) in make {
+        for &flows in &[8usize, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(name, flows),
+                &flows,
+                |b, &flows| {
+                    let mut enb = build_cell(mk(), flows / 2, flows - flows / 2);
+                    let mut ms = 0u64;
+                    b.iter(|| {
+                        let out = enb.step_tti(Time::from_millis(ms));
+                        ms += 1;
+                        black_box(out)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

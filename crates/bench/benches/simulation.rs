@@ -1,0 +1,88 @@
+//! Full-stack simulation slices: one bench per evaluated scheme/workload.
+//!
+//! Each bench runs a short slice of the exact workload behind the paper's
+//! tables and figures (see DESIGN.md's experiment index); the `repro`
+//! binary runs the full-length versions. Measuring slices keeps
+//! `cargo bench` minutes-scale while still exercising every code path:
+//!
+//! * `table1_*` / `table2_*` — the testbed scenarios per scheme;
+//! * `fig6_*` / `fig7_*` — the static/mobile cell scenarios per scheme;
+//! * `fig10_mixed` — the 8 video + 8 data coexistence workload;
+//! * `fig11_alpha` / `fig12_delta` — one sweep point each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flare_core::FlareConfig;
+use flare_scenarios::{cell, sweeps, testbed, CellSim, SchemeKind};
+use flare_sim::TimeDelta;
+use std::hint::black_box;
+
+const SLICE: TimeDelta = TimeDelta::from_secs(60);
+
+fn bench_testbed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testbed_slice");
+    group.sample_size(10);
+    for scheme in testbed::schemes() {
+        let name = scheme.name().to_lowercase();
+        let s1 = scheme.clone();
+        group.bench_function(format!("table1_{name}"), move |b| {
+            b.iter(|| {
+                let cfg = testbed::static_config(s1.clone(), 1, SLICE);
+                black_box(CellSim::new(cfg).run())
+            });
+        });
+        let s2 = scheme.clone();
+        group.bench_function(format!("table2_{name}"), move |b| {
+            b.iter(|| {
+                let cfg = testbed::dynamic_config(s2.clone(), 1, SLICE);
+                black_box(CellSim::new(cfg).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_slice");
+    group.sample_size(10);
+    for scheme in cell::schemes() {
+        let name = scheme.name().to_lowercase();
+        let s1 = scheme.clone();
+        group.bench_function(format!("fig6_{name}"), move |b| {
+            b.iter(|| black_box(cell::static_run(s1.clone(), 1, SLICE)));
+        });
+        let s2 = scheme.clone();
+        group.bench_function(format!("fig7_{name}"), move |b| {
+            b.iter(|| black_box(cell::mobile_run(s2.clone(), 1, SLICE)));
+        });
+    }
+    group.bench_function("fig10_mixed", |b| {
+        b.iter(|| {
+            black_box(cell::mixed_run(
+                SchemeKind::Flare(FlareConfig::default()),
+                8,
+                8,
+                1,
+                SLICE,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_sweep_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_point");
+    group.sample_size(10);
+    group.bench_function("fig11_alpha_1", |b| {
+        b.iter(|| black_box(sweeps::alpha_sweep(&[1.0], 1, 4, 4, SLICE, 1)));
+    });
+    group.bench_function("fig12_delta_4", |b| {
+        b.iter(|| black_box(sweeps::delta_sweep(&[4], 1, SLICE, 1)));
+    });
+    group.bench_function("fig8_relaxed_static", |b| {
+        b.iter(|| black_box(sweeps::solver_comparison(false, 1, SLICE, 1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_testbed, bench_cell, bench_sweep_points);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Per-BAI solver benchmarks — the workload behind Figure 9.
+//!
+//! The paper reports bitrate-selection times of a few milliseconds with
+//! KNITRO at 32/64/128 clients; these benches measure our exact (greedy +
+//! local search) and relaxed (KKT bisection) solvers on identically shaped
+//! problems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flare_scenarios::scaling::synthetic_problem;
+use flare_solver::{round_down, solve_discrete, solve_relaxed};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_solver_scaling");
+    group.sample_size(20);
+    for &n in &[8usize, 32, 64, 128] {
+        let spec = synthetic_problem(n, 42);
+        group.bench_with_input(BenchmarkId::new("exact", n), &spec, |b, spec| {
+            b.iter(|| black_box(solve_discrete(black_box(spec))));
+        });
+        group.bench_with_input(BenchmarkId::new("relaxed", n), &spec, |b, spec| {
+            b.iter(|| {
+                let relaxed = solve_relaxed(black_box(spec));
+                black_box(round_down(spec, &relaxed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

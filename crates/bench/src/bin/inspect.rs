@@ -1,0 +1,82 @@
+//! Diagnostic: trace one FLARE cell run BAI by BAI.
+//!
+//! ```text
+//! cargo run --release -p flare-bench --bin inspect -- [static|mobile] [secs]
+//! ```
+
+use flare_core::{ClientInfo, FlareConfig, OneApiServer};
+use flare_has::BitrateLadder;
+use flare_lte::channel::{ChannelModel, StaticChannel};
+use flare_lte::mobility::{snr_to_itbs, MobilityChannel, MobilityConfig, Position};
+use flare_lte::scheduler::PrioritySetScheduler;
+use flare_lte::{CellConfig, ENodeB, FlowClass};
+use flare_sim::rng::{standard_normal, stream};
+use flare_sim::units::ByteCount;
+use flare_sim::Time;
+use rand::Rng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mobile = args.first().map(String::as_str) == Some("mobile");
+    let secs: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let seed = 1;
+    let n_video = 8;
+
+    let mc = MobilityConfig::default();
+    let mut enb = ENodeB::new(CellConfig::default(), Box::new(PrioritySetScheduler::default()));
+    let mut flows = Vec::new();
+    for ue in 0..n_video {
+        let ch: Box<dyn ChannelModel> = if mobile {
+            Box::new(MobilityChannel::new(
+                mc.clone(),
+                stream(seed, "walk", ue),
+                stream(seed, "fade", ue),
+            ))
+        } else {
+            let mut rng = stream(seed, "position", ue);
+            let pos = Position {
+                x: rng.gen::<f64>() * mc.area.0,
+                y: rng.gen::<f64>() * mc.area.1,
+            };
+            let enb_pos = Position { x: 1000.0, y: 1000.0 };
+            let shadow = standard_normal(&mut rng) * mc.propagation.shadowing_sigma_db;
+            let snr = mc.propagation.mean_snr_db(pos.distance_to(enb_pos)) + shadow;
+            Box::new(StaticChannel::new(snr_to_itbs(snr)))
+        };
+        flows.push(enb.add_flow(FlowClass::Video, ch));
+    }
+
+    let ladder = BitrateLadder::simulation();
+    let mut server = OneApiServer::new(FlareConfig::default());
+    for &f in &flows {
+        server.register_video(ClientInfo::new(f, ladder.clone()));
+    }
+    // Keep every flow fully backlogged so the MAC statistics reflect pure
+    // channel capability (isolates the solver from player pacing).
+    for &f in &flows {
+        enb.push_backlog(f, ByteCount::new(u64::MAX / 4));
+    }
+
+    for bai in 0..secs / 10 {
+        for ms in bai * 10_000..(bai + 1) * 10_000 {
+            enb.step_tti(Time::from_millis(ms));
+        }
+        let report = enb.take_report(Time::from_millis((bai + 1) * 10_000));
+        let la = enb.link_adaptation().clone();
+        let assignments = server.assign(&report, &la, 50);
+        let levels: Vec<usize> = assignments.iter().map(|a| a.level.index()).collect();
+        let itbs: Vec<u8> = report.flows.iter().map(|f| f.itbs.index()).collect();
+        let eff: Vec<i64> = report
+            .flows
+            .iter()
+            .map(|f| f.bytes_per_rb().map(|b| (b * 8.0) as i64).unwrap_or(-1))
+            .collect();
+        let total_rbs = report.total_rbs();
+        for a in assignments {
+            enb.set_gbr(a.flow, Some(a.rate));
+        }
+        println!(
+            "bai {bai:>3}: levels {levels:?} itbs {itbs:?} bits/rb {eff:?} rbs {total_rbs}"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--runs N] [--secs S] [--seed K] <experiment>...
+//!
+//! experiments:
+//!   table1 table2        testbed scenario summaries
+//!   fig4 fig5            testbed time series
+//!   fig6 fig7            cell-scenario CDFs (static / mobile)
+//!   fig8                 exact vs relaxed solver
+//!   fig9                 solver computation-time scaling
+//!   fig10                video/data coexistence
+//!   fig11 fig12          alpha / delta sweeps
+//!   ablation             dual-enforcement ablation
+//!   all                  everything above
+//! ```
+//!
+//! With no sizing flags the paper's scale is used (20 runs × 1200 s cell
+//! simulations — several minutes in release). `--quick` shrinks everything
+//! for a smoke pass.
+
+use flare_bench::parse_params;
+use flare_scenarios::experiments::{
+    ablation_diversity, ablation_dual_enforcement, ablation_static_partition, fig10, fig11,
+    fig12, fig4, fig5, fig6, fig7, fig8, fig9, legacy_coexistence, table1, table2,
+    ExperimentParams,
+};
+
+fn run_one(name: &str, p: ExperimentParams) -> bool {
+    match name {
+        "table1" => println!("{}", table1(p).render()),
+        "table2" => println!("{}", table2(p).render()),
+        "fig4" => println!("{}", fig4(p).render(30.0)),
+        "fig5" => println!("{}", fig5(p).render(30.0)),
+        "fig6" => println!("{}", fig6(p).render()),
+        "fig7" => println!("{}", fig7(p).render()),
+        "fig8" => println!("{}", fig8(p).render()),
+        "fig9" => {
+            // Figure 9 measures per-solve wall time; iterations scale with
+            // the requested run count.
+            println!("{}", fig9(p.runs.max(2) * 25, p.seed).render());
+        }
+        "fig10" => println!("{}", fig10(p).render()),
+        "fig11" => println!("{}", fig11(p).render()),
+        "fig12" => println!("{}", fig12(p).render()),
+        "ablation" => println!("{}", ablation_dual_enforcement(p).render()),
+        "partition" => println!("{}", ablation_static_partition(p).render()),
+        "diversity" => println!("{}", ablation_diversity(p).render()),
+        "legacy" => println!("{}", legacy_coexistence(p).render()),
+        _ => return false,
+    }
+    true
+}
+
+const ALL: &[&str] = &[
+    "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "ablation", "partition", "diversity", "legacy",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (params, rest) = parse_params(&args);
+    if rest.is_empty() {
+        eprintln!(
+            "usage: repro [--quick] [--runs N] [--secs S] [--seed K] <experiment>...\n\
+             experiments: {} all",
+            ALL.join(" ")
+        );
+        std::process::exit(2);
+    }
+    for name in &rest {
+        if name == "all" {
+            for exp in ALL {
+                eprintln!("== running {exp} ==");
+                run_one(exp, params);
+            }
+        } else if !run_one(name, params) {
+            eprintln!("unknown experiment: {name}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Benchmark harness for the FLARE reproduction.
+//!
+//! Two entry points:
+//!
+//! * the **`repro` binary** (`cargo run --release -p flare-bench --bin
+//!   repro -- <experiment>`) regenerates every table and figure of the
+//!   paper's evaluation and prints the rows/series the paper reports;
+//! * the **Criterion benches** (`cargo bench -p flare-bench`) measure the
+//!   performance-sensitive components: the per-BAI solvers at the paper's
+//!   32/64/128-client scale (Figure 9's workload), the per-TTI MAC
+//!   schedulers, the throughput estimators, and a full-stack simulation
+//!   slice per scheme.
+//!
+//! This library only hosts shared helpers for those targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flare_scenarios::experiments::ExperimentParams;
+use flare_sim::TimeDelta;
+
+/// Parses the common sizing flags used by `repro` and the benches:
+/// `--quick`, `--runs N`, `--secs S`, `--seed K`.
+///
+/// Unrecognized arguments are returned for the caller to interpret.
+pub fn parse_params(args: &[String]) -> (ExperimentParams, Vec<String>) {
+    let mut params = ExperimentParams::paper();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                params = ExperimentParams::quick();
+            }
+            "--runs" => {
+                let v = it.next().expect("--runs needs a value");
+                params.runs = v.parse().expect("--runs must be an integer");
+            }
+            "--secs" => {
+                let v = it.next().expect("--secs needs a value");
+                let secs: u64 = v.parse().expect("--secs must be an integer");
+                params.duration = TimeDelta::from_secs(secs);
+                params.testbed_duration = TimeDelta::from_secs(secs);
+            }
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                params.seed = v.parse().expect("--seed must be an integer");
+            }
+            other => rest.push(other.to_owned()),
+        }
+    }
+    (params, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let (p, rest) = parse_params(&args(&["table1"]));
+        assert_eq!(p.runs, 20);
+        assert_eq!(rest, vec!["table1".to_owned()]);
+    }
+
+    #[test]
+    fn quick_flag_shrinks() {
+        let (p, _) = parse_params(&args(&["--quick", "fig6"]));
+        assert_eq!(p.runs, 2);
+    }
+
+    #[test]
+    fn explicit_overrides() {
+        let (p, rest) = parse_params(&args(&["--runs", "5", "--secs", "300", "--seed", "9", "all"]));
+        assert_eq!(p.runs, 5);
+        assert_eq!(p.duration, TimeDelta::from_secs(300));
+        assert_eq!(p.testbed_duration, TimeDelta::from_secs(300));
+        assert_eq!(p.seed, 9);
+        assert_eq!(rest, vec!["all".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--runs needs a value")]
+    fn missing_value_panics() {
+        let _ = parse_params(&args(&["--runs"]));
+    }
+}

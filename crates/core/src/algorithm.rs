@@ -1,0 +1,180 @@
+//! Algorithm 1's stability filter.
+//!
+//! The solver recommends a level `L*` each BAI (already capped at one step
+//! above the previous level by constraint (4)). The filter then decides what
+//! is *applied*:
+//!
+//! * a recommended increase `L* = L_prev + 1` is applied only after it has
+//!   been recommended for `δ · (L_prev + 1)` consecutive BAIs (1-based
+//!   level), so higher bitrates are entered ever more cautiously;
+//! * otherwise `L = min(L_prev, L*)` — decreases take effect immediately,
+//!   which is what protects the cell when several new clients arrive.
+
+/// Per-flow filter state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StabilityState {
+    /// The level applied in the previous BAI (0-based ladder index).
+    pub level: usize,
+    /// How many consecutive BAIs the solver has recommended `level + 1`.
+    pub consecutive_up: u32,
+}
+
+impl StabilityState {
+    /// Starts a flow at the given (usually lowest) level.
+    pub fn starting_at(level: usize) -> Self {
+        StabilityState {
+            level,
+            consecutive_up: 0,
+        }
+    }
+}
+
+/// The δ-controlled stability filter of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StabilityFilter {
+    delta: u32,
+}
+
+impl StabilityFilter {
+    /// Creates a filter with stability knob `δ`.
+    pub fn new(delta: u32) -> Self {
+        StabilityFilter { delta }
+    }
+
+    /// BAIs of consecutive recommendation required before stepping up *to*
+    /// 0-based level `target`: `δ · target`, so the first climb off the
+    /// floor costs `δ` BAIs and each higher rung costs proportionally more
+    /// — "a slower increase for higher bitrates" (Section II-B). A floor of
+    /// one BAI applies (δ = 0 disables the filter — the ablation
+    /// configuration).
+    pub fn threshold(&self, target: usize) -> u32 {
+        (self.delta * (target as u32).max(1)).max(1)
+    }
+
+    /// Feeds one BAI's recommendation `recommended` into `state`, returning
+    /// the level to apply. `state` is updated in place.
+    pub fn apply(&self, state: &mut StabilityState, recommended: usize) -> usize {
+        if recommended == state.level + 1 {
+            state.consecutive_up += 1;
+            if state.consecutive_up >= self.threshold(recommended) {
+                state.level = recommended;
+                state.consecutive_up = 0;
+            }
+        } else {
+            state.consecutive_up = 0;
+            state.level = state.level.min(recommended);
+        }
+        state.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn threshold_scales_with_target_level() {
+        let f = StabilityFilter::new(4);
+        assert_eq!(f.threshold(1), 4);
+        assert_eq!(f.threshold(2), 8);
+        assert_eq!(f.threshold(5), 20);
+        // Degenerate target 0 still needs one BAI.
+        assert_eq!(f.threshold(0), 4);
+    }
+
+    #[test]
+    fn delta_zero_disables_the_filter() {
+        let f = StabilityFilter::new(0);
+        let mut s = StabilityState::starting_at(0);
+        assert_eq!(f.apply(&mut s, 1), 1);
+        assert_eq!(f.apply(&mut s, 2), 2);
+    }
+
+    #[test]
+    fn increase_needs_consecutive_recommendations() {
+        let f = StabilityFilter::new(1);
+        let mut s = StabilityState::starting_at(2);
+        // Threshold to enter level 3 is 1*3 = 3 BAIs.
+        for i in 1..3 {
+            assert_eq!(f.apply(&mut s, 3), 2, "BAI {i} must hold");
+        }
+        assert_eq!(f.apply(&mut s, 3), 3, "3rd consecutive recommendation applies");
+        assert_eq!(s.consecutive_up, 0, "counter resets after applying");
+    }
+
+    #[test]
+    fn interruption_resets_the_counter() {
+        let f = StabilityFilter::new(1);
+        let mut s = StabilityState::starting_at(2);
+        f.apply(&mut s, 3);
+        f.apply(&mut s, 3);
+        // An equal-level recommendation breaks the streak...
+        assert_eq!(f.apply(&mut s, 2), 2);
+        // ...so the climb starts over (threshold is 3 for target level 3).
+        for _ in 0..2 {
+            assert_eq!(f.apply(&mut s, 3), 2);
+        }
+        assert_eq!(f.apply(&mut s, 3), 3);
+    }
+
+    #[test]
+    fn decreases_apply_immediately() {
+        let f = StabilityFilter::new(4);
+        let mut s = StabilityState::starting_at(5);
+        assert_eq!(f.apply(&mut s, 1), 1, "drops are immediate");
+        assert_eq!(s.level, 1);
+    }
+
+    #[test]
+    fn equal_recommendation_holds() {
+        let f = StabilityFilter::new(4);
+        let mut s = StabilityState::starting_at(3);
+        assert_eq!(f.apply(&mut s, 3), 3);
+        assert_eq!(s.consecutive_up, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn level_never_rises_faster_than_threshold(
+            delta in 1u32..12,
+            recs in prop::collection::vec(0usize..8, 1..200),
+        ) {
+            let f = StabilityFilter::new(delta);
+            let mut s = StabilityState::starting_at(0);
+            let mut ups_since = 0u32;
+            let mut prev = s.level;
+            for &r in &recs {
+                // The solver never recommends more than one step above.
+                let r = r.min(s.level + 1);
+                let applied = f.apply(&mut s, r);
+                prop_assert!(applied <= prev + 1, "never skip a level");
+                if applied == prev + 1 {
+                    // An increase must have taken at least threshold BAIs.
+                    prop_assert!(ups_since + 1 >= f.threshold(applied));
+                    ups_since = 0;
+                } else if applied < prev {
+                    ups_since = 0;
+                } else {
+                    ups_since += 1;
+                }
+                prev = applied;
+            }
+        }
+
+        #[test]
+        fn applied_level_never_exceeds_recommendation_history_max(
+            recs in prop::collection::vec(0usize..8, 1..100),
+        ) {
+            let f = StabilityFilter::new(2);
+            let mut s = StabilityState::starting_at(0);
+            let mut max_rec = 0;
+            for &r in &recs {
+                let r = r.min(s.level + 1);
+                max_rec = max_rec.max(r);
+                let applied = f.apply(&mut s, r);
+                prop_assert!(applied <= max_rec);
+            }
+        }
+    }
+}

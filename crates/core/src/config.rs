@@ -1,0 +1,120 @@
+//! FLARE algorithm parameters.
+
+use flare_sim::units::Rate;
+use flare_sim::TimeDelta;
+
+/// How the OneAPI server solves the per-BAI optimization (Figure 8 compares
+/// the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMode {
+    /// Solve the discrete problem directly (the paper's default, "we solve
+    /// the exact bitrate optimization problem (3–4)").
+    #[default]
+    Exact,
+    /// Solve the convex continuous relaxation of Proposition 1, then round
+    /// each rate down to the nearest ladder entry.
+    Relaxed,
+}
+
+/// Parameters of FLARE's coordination algorithm.
+///
+/// Defaults come from the paper's Table IV: `α = 1.0`, `δ = 4`,
+/// `θ_u = 0.2 Mbps`, `β_u = 10`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlareConfig {
+    /// Relative priority of data flows versus video flows (`α` in (3);
+    /// Figure 11 sweeps it from 0.25 to 4).
+    pub alpha: f64,
+    /// Stability knob: a recommended one-step increase to level `L+1`
+    /// (1-based) is applied only after `δ · (L+1)` consecutive BAIs of the
+    /// same recommendation (Figure 12 sweeps δ from 1 to 12).
+    pub delta: u32,
+    /// Default importance weight `β_u` for clients that don't send one.
+    pub beta: f64,
+    /// Default screen-size parameter `θ_u` for clients that don't send one.
+    pub theta: Rate,
+    /// Bitrate assignment interval `B`.
+    pub bai: TimeDelta,
+    /// Which solver backs Algorithm 1.
+    pub solve_mode: SolveMode,
+}
+
+impl Default for FlareConfig {
+    fn default() -> Self {
+        FlareConfig {
+            alpha: 1.0,
+            delta: 4,
+            beta: 10.0,
+            theta: Rate::from_mbps(0.2),
+            bai: TimeDelta::from_secs(10),
+            solve_mode: SolveMode::Exact,
+        }
+    }
+}
+
+impl FlareConfig {
+    /// Returns a copy with a different `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Returns a copy with a different `δ`.
+    pub fn with_delta(mut self, delta: u32) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Returns a copy with a different BAI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bai` is zero.
+    pub fn with_bai(mut self, bai: TimeDelta) -> Self {
+        assert!(!bai.is_zero(), "BAI must be non-zero");
+        self.bai = bai;
+        self
+    }
+
+    /// Returns a copy with a different solver.
+    pub fn with_solve_mode(mut self, mode: SolveMode) -> Self {
+        self.solve_mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iv() {
+        let c = FlareConfig::default();
+        assert_eq!(c.alpha, 1.0);
+        assert_eq!(c.delta, 4);
+        assert_eq!(c.beta, 10.0);
+        assert_eq!(c.theta, Rate::from_mbps(0.2));
+        assert_eq!(c.bai, TimeDelta::from_secs(10));
+        assert_eq!(c.solve_mode, SolveMode::Exact);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let c = FlareConfig::default()
+            .with_alpha(2.0)
+            .with_delta(8)
+            .with_bai(TimeDelta::from_secs(2))
+            .with_solve_mode(SolveMode::Relaxed);
+        assert_eq!(c.alpha, 2.0);
+        assert_eq!(c.delta, 8);
+        assert_eq!(c.bai, TimeDelta::from_secs(2));
+        assert_eq!(c.solve_mode, SolveMode::Relaxed);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bai_panics() {
+        let _ = FlareConfig::default().with_bai(TimeDelta::ZERO);
+    }
+}

@@ -1,0 +1,207 @@
+//! One OneAPI server managing several base stations.
+//!
+//! Section II-A: "A single OneAPI server can manage multiple BSs, though
+//! the bitrates are calculated independently for each network cell."
+//! [`MultiCellServer`] is that front end: it routes client registrations
+//! and per-cell statistics reports to independent per-cell optimizers, so
+//! an operator deploys one logical server for a whole femtocell cluster.
+
+use flare_lte::{FlowId, IntervalReport, LinkAdaptation};
+
+use crate::client::ClientInfo;
+use crate::config::FlareConfig;
+use crate::server::{Assignment, OneApiServer};
+
+/// Identifies one base station managed by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub u32);
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// A OneAPI server front end multiplexing several cells.
+///
+/// Each cell gets its own [`OneApiServer`] (same configuration); the
+/// per-BAI optimizations are independent, exactly as the paper specifies.
+///
+/// # Example
+///
+/// ```
+/// use flare_core::{CellId, FlareConfig, MultiCellServer};
+///
+/// let mut server = MultiCellServer::new(FlareConfig::default());
+/// server.add_cell(CellId(0));
+/// server.add_cell(CellId(1));
+/// assert_eq!(server.cell_count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct MultiCellServer {
+    config: FlareConfig,
+    cells: Vec<(CellId, OneApiServer)>,
+}
+
+impl MultiCellServer {
+    /// Creates an empty multi-cell server.
+    pub fn new(config: FlareConfig) -> Self {
+        MultiCellServer {
+            config,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Registers a base station. Re-adding an existing id is a no-op.
+    pub fn add_cell(&mut self, cell: CellId) {
+        if !self.cells.iter().any(|(c, _)| *c == cell) {
+            self.cells
+                .push((cell, OneApiServer::new(self.config.clone())));
+        }
+    }
+
+    /// Number of managed cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The per-cell server, if the cell is managed.
+    pub fn cell(&self, cell: CellId) -> Option<&OneApiServer> {
+        self.cells.iter().find(|(c, _)| *c == cell).map(|(_, s)| s)
+    }
+
+    fn cell_mut(&mut self, cell: CellId) -> &mut OneApiServer {
+        self.cells
+            .iter_mut()
+            .find(|(c, _)| *c == cell)
+            .map(|(_, s)| s)
+            .expect("cell not managed by this server")
+    }
+
+    /// Registers a video client in its serving cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` has not been added.
+    pub fn register_video(&mut self, cell: CellId, info: ClientInfo) {
+        self.cell_mut(cell).register_video(info);
+    }
+
+    /// Registers a data flow in its serving cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` has not been added.
+    pub fn register_data(&mut self, cell: CellId, flow: FlowId) {
+        self.cell_mut(cell).register_data(flow);
+    }
+
+    /// Runs one BAI of Algorithm 1 for one cell. Other cells are untouched
+    /// — assignments are per-cell-independent by design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` has not been added.
+    pub fn assign(
+        &mut self,
+        cell: CellId,
+        report: &IntervalReport,
+        la: &LinkAdaptation,
+        rbs_per_tti: u32,
+    ) -> Vec<Assignment> {
+        self.cell_mut(cell).assign(report, la, rbs_per_tti)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_has::BitrateLadder;
+    use flare_lte::channel::StaticChannel;
+    use flare_lte::scheduler::TwoPhaseGbr;
+    use flare_lte::{CellConfig, ENodeB, FlowClass, Itbs};
+    use flare_sim::units::ByteCount;
+    use flare_sim::Time;
+
+    fn make_cell(itbs: u8, n_video: usize) -> (ENodeB, Vec<FlowId>) {
+        let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
+        let flows = (0..n_video)
+            .map(|_| {
+                let f = enb.add_flow(
+                    FlowClass::Video,
+                    Box::new(StaticChannel::new(Itbs::new(itbs))),
+                );
+                enb.push_backlog(f, ByteCount::new(u64::MAX / 4));
+                f
+            })
+            .collect();
+        (enb, flows)
+    }
+
+    fn run_bai(enb: &mut ENodeB, bai: u64) -> IntervalReport {
+        for ms in bai * 10_000..(bai + 1) * 10_000 {
+            enb.step_tti(Time::from_millis(ms));
+        }
+        enb.take_report(Time::from_millis((bai + 1) * 10_000))
+    }
+
+    #[test]
+    fn cells_are_managed_independently() {
+        // Two cells with very different channels: the loaded cell's
+        // assignments must not be influenced by the idle one.
+        let (mut enb_a, flows_a) = make_cell(20, 2);
+        let (mut enb_b, flows_b) = make_cell(2, 2);
+
+        let mut multi = MultiCellServer::new(FlareConfig::default().with_delta(0));
+        multi.add_cell(CellId(0));
+        multi.add_cell(CellId(1));
+        for &f in &flows_a {
+            multi.register_video(CellId(0), ClientInfo::new(f, BitrateLadder::simulation()));
+        }
+        for &f in &flows_b {
+            multi.register_video(CellId(1), ClientInfo::new(f, BitrateLadder::simulation()));
+        }
+
+        let mut solo = OneApiServer::new(FlareConfig::default().with_delta(0));
+        for &f in &flows_a {
+            solo.register_video(ClientInfo::new(f, BitrateLadder::simulation()));
+        }
+
+        for bai in 0..4 {
+            let report_a = run_bai(&mut enb_a, bai);
+            let report_b = run_bai(&mut enb_b, bai);
+            let la = enb_a.link_adaptation().clone();
+            let multi_a = multi.assign(CellId(0), &report_a, &la, 50);
+            let solo_a = solo.assign(&report_a, &la, 50);
+            assert_eq!(multi_a, solo_a, "cell 0 must behave like a standalone server");
+            let multi_b = multi.assign(CellId(1), &report_b, &la, 50);
+            // The poor cell gets strictly lower levels than the good one.
+            assert!(
+                multi_b.iter().map(|a| a.level).max() <= multi_a.iter().map(|a| a.level).max()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_add_is_a_noop() {
+        let mut multi = MultiCellServer::new(FlareConfig::default());
+        multi.add_cell(CellId(3));
+        multi.add_cell(CellId(3));
+        assert_eq!(multi.cell_count(), 1);
+        assert!(multi.cell(CellId(3)).is_some());
+        assert!(multi.cell(CellId(4)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not managed")]
+    fn unknown_cell_panics() {
+        let (_, flows) = make_cell(5, 1);
+        let mut multi = MultiCellServer::new(FlareConfig::default());
+        multi.register_video(CellId(9), ClientInfo::new(flows[0], BitrateLadder::testbed()));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CellId(7).to_string(), "cell#7");
+    }
+}

@@ -1,0 +1,112 @@
+//! The PCRF's flow registry.
+//!
+//! The Policy, Charging, and Rules Function "manages and monitors all flows
+//! in the network; thus, it can provide the OneAPI server with all relevant
+//! network information, such as the number of non-video flows" (Section
+//! I-C). This registry is that view: which flows exist and what class they
+//! are.
+
+use flare_lte::{FlowClass, FlowId};
+
+/// The PCRF's registry of flows in one cell.
+#[derive(Debug, Clone, Default)]
+pub struct PcrfRegistry {
+    flows: Vec<(FlowId, FlowClass)>,
+}
+
+impl PcrfRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        PcrfRegistry::default()
+    }
+
+    /// Registers a flow; re-registering updates its class.
+    pub fn register(&mut self, flow: FlowId, class: FlowClass) {
+        match self.flows.iter_mut().find(|(f, _)| *f == flow) {
+            Some(entry) => entry.1 = class,
+            None => self.flows.push((flow, class)),
+        }
+    }
+
+    /// Removes a flow (bearer teardown). Returns whether it was present.
+    pub fn deregister(&mut self, flow: FlowId) -> bool {
+        let before = self.flows.len();
+        self.flows.retain(|(f, _)| *f != flow);
+        self.flows.len() != before
+    }
+
+    /// Number of data flows (`n` in the objective).
+    pub fn data_flow_count(&self) -> usize {
+        self.flows
+            .iter()
+            .filter(|(_, c)| *c == FlowClass::Data)
+            .count()
+    }
+
+    /// Number of video flows.
+    pub fn video_flow_count(&self) -> usize {
+        self.flows
+            .iter()
+            .filter(|(_, c)| *c == FlowClass::Video)
+            .count()
+    }
+
+    /// Iterates over all registered flows.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, FlowClass)> + '_ {
+        self.flows.iter().copied()
+    }
+
+    /// The class of a flow, if registered.
+    pub fn class_of(&self, flow: FlowId) -> Option<FlowClass> {
+        self.flows.iter().find(|(f, _)| *f == flow).map(|(_, c)| *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_lte::channel::StaticChannel;
+    use flare_lte::scheduler::ProportionalFair;
+    use flare_lte::{CellConfig, ENodeB, Itbs};
+
+    fn flows(n: usize) -> Vec<FlowId> {
+        let mut enb = ENodeB::new(CellConfig::default(), Box::new(ProportionalFair::default()));
+        (0..n)
+            .map(|_| enb.add_flow(FlowClass::Data, Box::new(StaticChannel::new(Itbs::new(1)))))
+            .collect()
+    }
+
+    #[test]
+    fn counts_by_class() {
+        let ids = flows(4);
+        let mut reg = PcrfRegistry::new();
+        reg.register(ids[0], FlowClass::Video);
+        reg.register(ids[1], FlowClass::Data);
+        reg.register(ids[2], FlowClass::Data);
+        assert_eq!(reg.video_flow_count(), 1);
+        assert_eq!(reg.data_flow_count(), 2);
+        assert_eq!(reg.class_of(ids[1]), Some(FlowClass::Data));
+        assert_eq!(reg.class_of(ids[3]), None);
+    }
+
+    #[test]
+    fn reregistration_updates_class() {
+        let ids = flows(1);
+        let mut reg = PcrfRegistry::new();
+        reg.register(ids[0], FlowClass::Data);
+        reg.register(ids[0], FlowClass::Video);
+        assert_eq!(reg.data_flow_count(), 0);
+        assert_eq!(reg.video_flow_count(), 1);
+        assert_eq!(reg.iter().count(), 1);
+    }
+
+    #[test]
+    fn deregistration() {
+        let ids = flows(2);
+        let mut reg = PcrfRegistry::new();
+        reg.register(ids[0], FlowClass::Data);
+        assert!(reg.deregister(ids[0]));
+        assert!(!reg.deregister(ids[0]));
+        assert_eq!(reg.data_flow_count(), 0);
+    }
+}

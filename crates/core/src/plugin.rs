@@ -1,0 +1,104 @@
+//! The FLARE UE plugin: the client half of the coordination loop.
+
+use flare_abr::SharedAssignment;
+use flare_has::{AdaptContext, Level, RateAdapter};
+
+/// The light-weight client-side plugin FLARE embeds in the HAS player.
+///
+/// Its adaptation policy is deliberately trivial: *always request the
+/// network-assigned level* (clamped to the ladder). This is the half of the
+/// paper's dual enforcement that AVIS lacks — the eNodeB guarantees the
+/// assigned rate with a GBR while the plugin guarantees the player actually
+/// requests it, so the two can never disagree.
+///
+/// Before the first assignment arrives the plugin streams at the lowest
+/// encoding, which is also what bootstraps the MAC statistics the server's
+/// optimizer needs.
+///
+/// # Example
+///
+/// ```
+/// use flare_abr::SharedAssignment;
+/// use flare_core::FlarePlugin;
+/// use flare_has::RateAdapter;
+///
+/// let assignment = SharedAssignment::new();
+/// let plugin = FlarePlugin::new(assignment.clone());
+/// assert_eq!(plugin.name(), "flare");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlarePlugin {
+    assignment: SharedAssignment,
+}
+
+impl FlarePlugin {
+    /// Creates a plugin reading assignments from `assignment` (the harness
+    /// keeps the other clone and writes the OneAPI server's decisions into
+    /// it).
+    pub fn new(assignment: SharedAssignment) -> Self {
+        FlarePlugin { assignment }
+    }
+
+    /// The assignment cell (for introspection/tests).
+    pub fn assignment(&self) -> &SharedAssignment {
+        &self.assignment
+    }
+}
+
+impl RateAdapter for FlarePlugin {
+    fn next_level(&mut self, ctx: &AdaptContext) -> Level {
+        match self.assignment.get() {
+            Some(level) => ctx.ladder.clamp(level),
+            None => ctx.ladder.lowest(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "flare"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_has::BitrateLadder;
+    use flare_sim::{Time, TimeDelta};
+
+    fn ctx<'a>(ladder: &'a BitrateLadder) -> AdaptContext<'a> {
+        AdaptContext {
+            now: Time::ZERO,
+            ladder,
+            buffer_level: TimeDelta::from_secs(20),
+            last_level: Some(Level::new(1)),
+            segment_duration: TimeDelta::from_secs(10),
+            segment_index: 3,
+        }
+    }
+
+    #[test]
+    fn unassigned_plugin_streams_lowest() {
+        let ladder = BitrateLadder::testbed();
+        let mut plugin = FlarePlugin::new(SharedAssignment::new());
+        assert_eq!(plugin.next_level(&ctx(&ladder)), Level::new(0));
+    }
+
+    #[test]
+    fn follows_assignments_exactly() {
+        let ladder = BitrateLadder::testbed();
+        let cell = SharedAssignment::new();
+        let mut plugin = FlarePlugin::new(cell.clone());
+        cell.set(Level::new(3));
+        assert_eq!(plugin.next_level(&ctx(&ladder)), Level::new(3));
+        cell.set(Level::new(6));
+        assert_eq!(plugin.next_level(&ctx(&ladder)), Level::new(6));
+    }
+
+    #[test]
+    fn out_of_range_assignments_clamp() {
+        let ladder = BitrateLadder::simulation();
+        let cell = SharedAssignment::new();
+        let mut plugin = FlarePlugin::new(cell.clone());
+        cell.set(Level::new(99));
+        assert_eq!(plugin.next_level(&ctx(&ladder)), ladder.highest());
+    }
+}

@@ -1,0 +1,388 @@
+//! The OneAPI server: FLARE's network-side brain.
+
+use std::time::{Duration, Instant};
+
+use flare_has::Level;
+use flare_lte::{FlowClass, FlowId, IntervalReport, LinkAdaptation};
+use flare_sim::units::Rate;
+use flare_solver::{
+    round_down, solve_discrete, solve_relaxed, FlowSpec, ProblemSpec,
+};
+
+use crate::algorithm::{StabilityFilter, StabilityState};
+use crate::client::ClientInfo;
+use crate::config::{FlareConfig, SolveMode};
+use crate::pcrf::PcrfRegistry;
+
+/// One BAI's decision for one video flow: the level the plugin must request
+/// and the GBR the PCEF/eNodeB must enforce (they are the same rate — that
+/// equality *is* FLARE's dual enforcement).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// The video flow.
+    pub flow: FlowId,
+    /// Ladder level the plugin will request.
+    pub level: Level,
+    /// The level's bitrate, installed as the flow's GBR.
+    pub rate: Rate,
+}
+
+#[derive(Debug, Clone)]
+struct ClientEntry {
+    info: ClientInfo,
+    state: StabilityState,
+}
+
+/// FLARE's network-side controller.
+///
+/// Once per BAI, feed it the cell's [`IntervalReport`]; it rebuilds the
+/// utility-maximization problem (3)–(4) from the fresh `(n_u, b_u)`
+/// counters, solves it (exactly or via the convex relaxation), pushes the
+/// recommendations through Algorithm 1's δ stability filter, and returns the
+/// assignments to enforce.
+#[derive(Debug)]
+pub struct OneApiServer {
+    config: FlareConfig,
+    filter: StabilityFilter,
+    clients: Vec<ClientEntry>,
+    pcrf: PcrfRegistry,
+    last_solve_time: Option<Duration>,
+}
+
+impl OneApiServer {
+    /// Creates a server.
+    pub fn new(config: FlareConfig) -> Self {
+        let filter = StabilityFilter::new(config.delta);
+        OneApiServer {
+            config,
+            filter,
+            clients: Vec::new(),
+            pcrf: PcrfRegistry::new(),
+            last_solve_time: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FlareConfig {
+        &self.config
+    }
+
+    /// Registers a video client (the plugin's hello message). The client
+    /// starts at its lowest allowed level.
+    pub fn register_video(&mut self, info: ClientInfo) {
+        self.pcrf.register(info.flow(), FlowClass::Video);
+        let start = info.min_allowed_level().index();
+        self.clients.push(ClientEntry {
+            info,
+            state: StabilityState::starting_at(start),
+        });
+    }
+
+    /// Registers a best-effort data flow (via the PCRF, not the plugin).
+    pub fn register_data(&mut self, flow: FlowId) {
+        self.pcrf.register(flow, FlowClass::Data);
+    }
+
+    /// The PCRF's flow registry.
+    pub fn pcrf(&self) -> &PcrfRegistry {
+        &self.pcrf
+    }
+
+    /// Wall-clock time of the most recent solve (Figure 9's metric).
+    pub fn last_solve_time(&self) -> Option<Duration> {
+        self.last_solve_time
+    }
+
+    /// The level currently applied to `flow`, if it is a registered client.
+    pub fn current_level(&self, flow: FlowId) -> Option<Level> {
+        self.clients
+            .iter()
+            .find(|c| c.info.flow() == flow)
+            .map(|c| Level::new(c.state.level))
+    }
+
+    /// Runs one BAI of Algorithm 1.
+    ///
+    /// `report` is the eNodeB's statistics for the elapsed BAI; `la` and
+    /// `rbs_per_tti` describe the cell (used to size the RB budget and to
+    /// estimate link efficiency for flows that were idle).
+    ///
+    /// Returns one [`Assignment`] per registered video client present in the
+    /// report. An empty report interval returns no assignments.
+    pub fn assign(
+        &mut self,
+        report: &IntervalReport,
+        la: &LinkAdaptation,
+        rbs_per_tti: u32,
+    ) -> Vec<Assignment> {
+        let interval = report.duration();
+        if interval.is_zero() || self.clients.is_empty() {
+            return Vec::new();
+        }
+        let bai_secs = interval.as_secs_f64();
+        let total_rbs = f64::from(rbs_per_tti) * interval.as_millis() as f64;
+
+        // Build the solver problem from fresh MAC statistics.
+        let mut solver_index: Vec<usize> = Vec::new();
+        let mut flows: Vec<FlowSpec> = Vec::new();
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            let Some(stats) = report.flow(client.info.flow()) else {
+                continue;
+            };
+            let bits_per_rb = stats
+                .bytes_per_rb()
+                .map(|b| b * 8.0)
+                .unwrap_or_else(|| la.bits_per_rb(stats.itbs))
+                .max(1.0);
+            let weight = bai_secs / bits_per_rb;
+            let ladder: Vec<f64> = client
+                .info
+                .ladder()
+                .rates()
+                .iter()
+                .map(|r| r.as_bps())
+                .collect();
+            let beta = client.info.prefs().beta.unwrap_or(self.config.beta);
+            let theta = client
+                .info
+                .prefs()
+                .theta
+                .unwrap_or(self.config.theta)
+                .as_bps();
+            let max_allowed = client.info.max_allowed_level().index();
+            let min_allowed = client.info.min_allowed_level().index();
+            // Keep the persistent state inside the currently allowed band
+            // (preferences may have tightened since the last BAI).
+            client.state.level = client.state.level.clamp(min_allowed, max_allowed);
+            // Constraint (4): at most one step above the previous level.
+            let max_level = (client.state.level + 1).min(max_allowed);
+            flows.push(
+                FlowSpec::new(ladder, beta, theta, weight, max_level)
+                    .with_min_level(min_allowed),
+            );
+            solver_index.push(i);
+        }
+        if flows.is_empty() {
+            return Vec::new();
+        }
+
+        let spec = ProblemSpec::builder()
+            .total_rbs(total_rbs)
+            .data_flows(self.pcrf.data_flow_count(), self.config.alpha)
+            .flows(flows)
+            .build()
+            .expect("validated inputs");
+
+        let started = Instant::now();
+        let solution = match self.config.solve_mode {
+            SolveMode::Exact => solve_discrete(&spec),
+            SolveMode::Relaxed => round_down(&spec, &solve_relaxed(&spec)),
+        };
+        self.last_solve_time = Some(started.elapsed());
+
+        // Stability filter, then emit assignments.
+        solver_index
+            .iter()
+            .zip(&solution.levels)
+            .map(|(&ci, &recommended)| {
+                let client = &mut self.clients[ci];
+                let applied = self.filter.apply(&mut client.state, recommended);
+                let level = Level::new(applied);
+                Assignment {
+                    flow: client.info.flow(),
+                    level,
+                    rate: client.info.ladder().rate(level),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientPrefs;
+    use flare_has::BitrateLadder;
+    use flare_lte::channel::StaticChannel;
+    use flare_lte::scheduler::TwoPhaseGbr;
+    use flare_lte::{CellConfig, ENodeB, Itbs};
+    use flare_sim::Time;
+
+    /// A cell with `n_video` great-channel video flows and `n_data` data
+    /// flows, plus one BAI of traffic so the report is meaningful.
+    fn cell(n_video: usize, n_data: usize, itbs: u8) -> (ENodeB, Vec<FlowId>, Vec<FlowId>) {
+        let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
+        let videos: Vec<FlowId> = (0..n_video)
+            .map(|_| {
+                let f = enb.add_flow(
+                    FlowClass::Video,
+                    Box::new(StaticChannel::new(Itbs::new(itbs))),
+                );
+                enb.push_backlog(f, flare_sim::units::ByteCount::new(50_000_000));
+                f
+            })
+            .collect();
+        let datas: Vec<FlowId> = (0..n_data)
+            .map(|_| {
+                enb.add_flow(
+                    FlowClass::Data,
+                    Box::new(StaticChannel::new(Itbs::new(itbs))),
+                )
+            })
+            .collect();
+        (enb, videos, datas)
+    }
+
+    fn run_bai(enb: &mut ENodeB, bai_index: u64) -> IntervalReport {
+        let start = bai_index * 10_000;
+        for ms in start..start + 10_000 {
+            enb.step_tti(Time::from_millis(ms));
+        }
+        enb.take_report(Time::from_millis(start + 10_000))
+    }
+
+    #[test]
+    fn assigns_one_level_per_client() {
+        let (mut enb, videos, datas) = cell(3, 1, 12);
+        let mut server = OneApiServer::new(FlareConfig::default());
+        for &v in &videos {
+            server.register_video(ClientInfo::new(v, BitrateLadder::testbed()));
+        }
+        for &d in &datas {
+            server.register_data(d);
+        }
+        let report = run_bai(&mut enb, 0);
+        let assignments = server.assign(&report, enb.link_adaptation(), 50);
+        assert_eq!(assignments.len(), 3);
+        for a in &assignments {
+            assert_eq!(a.rate, BitrateLadder::testbed().rate(a.level));
+        }
+        assert!(server.last_solve_time().is_some());
+    }
+
+    #[test]
+    fn levels_climb_one_step_per_threshold() {
+        let (mut enb, videos, _) = cell(1, 0, 14);
+        let config = FlareConfig::default().with_delta(1);
+        let mut server = OneApiServer::new(config);
+        server.register_video(ClientInfo::new(videos[0], BitrateLadder::testbed()));
+        let mut levels = Vec::new();
+        for bai in 0..30 {
+            let report = run_bai(&mut enb, bai);
+            let assignments = server.assign(&report, enb.link_adaptation(), 50);
+            levels.push(assignments[0].level.index());
+            // Keep the flow backlogged so statistics stay meaningful.
+            enb.push_backlog(videos[0], flare_sim::units::ByteCount::new(50_000_000));
+        }
+        // Never skips a level.
+        assert!(levels.windows(2).all(|w| w[1] <= w[0] + 1), "{levels:?}");
+        // With delta=1 and a great channel it climbs steadily.
+        assert!(*levels.last().unwrap() > levels[0], "{levels:?}");
+    }
+
+    #[test]
+    fn data_flow_count_tempers_assignments() {
+        let run = |n_data: usize| {
+            let (mut enb, videos, datas) = cell(2, n_data, 6);
+            let mut server = OneApiServer::new(FlareConfig::default().with_delta(0));
+            for &v in &videos {
+                server.register_video(ClientInfo::new(v, BitrateLadder::testbed()));
+            }
+            for &d in &datas {
+                server.register_data(d);
+            }
+            let mut last = Vec::new();
+            for bai in 0..10 {
+                let report = run_bai(&mut enb, bai);
+                last = server.assign(&report, enb.link_adaptation(), 50);
+                for &v in &videos {
+                    enb.push_backlog(v, flare_sim::units::ByteCount::new(50_000_000));
+                }
+            }
+            last.iter().map(|a| a.level.index()).sum::<usize>()
+        };
+        assert!(run(6) <= run(0), "more data flows must not raise video levels");
+    }
+
+    #[test]
+    fn client_rate_cap_is_respected() {
+        let (mut enb, videos, _) = cell(1, 0, 20);
+        let mut server = OneApiServer::new(FlareConfig::default().with_delta(0));
+        let prefs = ClientPrefs {
+            max_rate: Some(Rate::from_kbps(800.0)),
+            ..ClientPrefs::default()
+        };
+        server.register_video(
+            ClientInfo::new(videos[0], BitrateLadder::testbed()).with_prefs(prefs),
+        );
+        for bai in 0..12 {
+            let report = run_bai(&mut enb, bai);
+            let assignments = server.assign(&report, enb.link_adaptation(), 50);
+            assert!(
+                assignments[0].rate <= Rate::from_kbps(800.0),
+                "cap violated: {:?}",
+                assignments[0]
+            );
+            enb.push_backlog(videos[0], flare_sim::units::ByteCount::new(50_000_000));
+        }
+    }
+
+    #[test]
+    fn skimming_client_pinned_to_lowest() {
+        let (mut enb, videos, _) = cell(1, 0, 20);
+        let mut server = OneApiServer::new(FlareConfig::default().with_delta(0));
+        let prefs = ClientPrefs {
+            skimming: true,
+            ..ClientPrefs::default()
+        };
+        server.register_video(
+            ClientInfo::new(videos[0], BitrateLadder::testbed()).with_prefs(prefs),
+        );
+        for bai in 0..5 {
+            let report = run_bai(&mut enb, bai);
+            let assignments = server.assign(&report, enb.link_adaptation(), 50);
+            assert_eq!(assignments[0].level, Level::new(0));
+        }
+    }
+
+    #[test]
+    fn relaxed_mode_also_assigns() {
+        let (mut enb, videos, datas) = cell(2, 1, 10);
+        let mut server =
+            OneApiServer::new(FlareConfig::default().with_solve_mode(SolveMode::Relaxed));
+        for &v in &videos {
+            server.register_video(ClientInfo::new(v, BitrateLadder::simulation()));
+        }
+        server.register_data(datas[0]);
+        let report = run_bai(&mut enb, 0);
+        let assignments = server.assign(&report, enb.link_adaptation(), 50);
+        assert_eq!(assignments.len(), 2);
+    }
+
+    #[test]
+    fn empty_report_yields_nothing() {
+        let (_, videos, _) = cell(1, 0, 5);
+        let mut server = OneApiServer::new(FlareConfig::default());
+        server.register_video(ClientInfo::new(videos[0], BitrateLadder::testbed()));
+        let empty = IntervalReport {
+            start: Time::ZERO,
+            end: Time::ZERO,
+            flows: vec![],
+        };
+        assert!(server
+            .assign(&empty, &LinkAdaptation::default(), 50)
+            .is_empty());
+    }
+
+    #[test]
+    fn unknown_flows_are_skipped() {
+        let (mut enb, _videos, _) = cell(1, 0, 5);
+        let (_, other_videos, _) = cell(3, 0, 5);
+        let mut server = OneApiServer::new(FlareConfig::default());
+        // Register a flow id (index 2) that the reporting cell doesn't have.
+        server.register_video(ClientInfo::new(other_videos[2], BitrateLadder::testbed()));
+        let report = run_bai(&mut enb, 0);
+        // The report covers flow 0 only; the registered client is flow 2.
+        assert!(server.assign(&report, enb.link_adaptation(), 50).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! The rate-adaptation interface every HAS algorithm implements.
+
+use flare_sim::units::ByteCount;
+use flare_sim::{Time, TimeDelta};
+
+use crate::ladder::{BitrateLadder, Level};
+
+/// One completed segment download, reported to the adapter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DownloadSample {
+    /// When the download finished.
+    pub completed_at: Time,
+    /// The encoding that was downloaded.
+    pub level: Level,
+    /// Segment size in bytes.
+    pub bytes: ByteCount,
+    /// Wall-clock download time (request to last byte).
+    pub elapsed: TimeDelta,
+}
+
+/// Everything an adapter may consult when choosing the next segment's
+/// encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptContext<'a> {
+    /// Current simulation time.
+    pub now: Time,
+    /// The video's available encodings.
+    pub ladder: &'a BitrateLadder,
+    /// Seconds of media currently buffered.
+    pub buffer_level: TimeDelta,
+    /// The previously selected encoding, if any segment has been requested.
+    pub last_level: Option<Level>,
+    /// Length of one segment.
+    pub segment_duration: TimeDelta,
+    /// Zero-based index of the segment about to be requested.
+    pub segment_index: u64,
+}
+
+/// A bitrate adaptation algorithm.
+///
+/// The player calls [`RateAdapter::on_download_complete`] after each segment
+/// and [`RateAdapter::next_level`] immediately before each request.
+/// Client-side algorithms (FESTIVE, GOOGLE) decide from the context alone;
+/// coordinated algorithms (FLARE, AVIS) additionally receive assignments
+/// from the network side through their own channels.
+pub trait RateAdapter {
+    /// Feeds the outcome of a finished download.
+    fn on_download_complete(&mut self, sample: DownloadSample) {
+        let _ = sample;
+    }
+
+    /// Chooses the encoding for the next segment.
+    fn next_level(&mut self, ctx: &AdaptContext) -> Level;
+
+    /// A short algorithm name for logs and result tables.
+    fn name(&self) -> &'static str;
+}
+
+impl<T: RateAdapter + ?Sized> RateAdapter for Box<T> {
+    fn on_download_complete(&mut self, sample: DownloadSample) {
+        (**self).on_download_complete(sample);
+    }
+
+    fn next_level(&mut self, ctx: &AdaptContext) -> Level {
+        (**self).next_level(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(Level);
+
+    impl RateAdapter for Fixed {
+        fn next_level(&mut self, _ctx: &AdaptContext) -> Level {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn boxed_adapter_delegates() {
+        let ladder = BitrateLadder::simulation();
+        let ctx = AdaptContext {
+            now: Time::ZERO,
+            ladder: &ladder,
+            buffer_level: TimeDelta::ZERO,
+            last_level: None,
+            segment_duration: TimeDelta::from_secs(10),
+            segment_index: 0,
+        };
+        let mut boxed: Box<dyn RateAdapter> = Box::new(Fixed(Level::new(2)));
+        assert_eq!(boxed.next_level(&ctx), Level::new(2));
+        assert_eq!(boxed.name(), "fixed");
+        boxed.on_download_complete(DownloadSample {
+            completed_at: Time::ZERO,
+            level: Level::new(2),
+            bytes: ByteCount::new(1),
+            elapsed: TimeDelta::from_millis(1),
+        });
+    }
+}

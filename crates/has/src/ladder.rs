@@ -1,0 +1,279 @@
+//! Bitrate ladders: the discrete encodings available for one video.
+
+use std::fmt;
+
+use flare_sim::units::Rate;
+
+/// An index into a [`BitrateLadder`] (the paper's `L_u`), zero-based.
+///
+/// # Example
+///
+/// ```
+/// use flare_has::Level;
+///
+/// let l = Level::new(3);
+/// assert_eq!(l.index(), 3);
+/// assert_eq!(l.up().index(), 4);
+/// assert_eq!(Level::new(0).down(), Level::new(0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Level(usize);
+
+impl Level {
+    /// Creates a level index.
+    pub const fn new(index: usize) -> Self {
+        Level(index)
+    }
+
+    /// Returns the zero-based index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// The next level up.
+    pub const fn up(self) -> Level {
+        Level(self.0 + 1)
+    }
+
+    /// The next level down, saturating at the lowest level.
+    pub const fn down(self) -> Level {
+        Level(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Debug for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The sorted list of encodings available for a video — `r_u(1) ≤ … ≤
+/// r_u(M_u)` in the paper's notation.
+///
+/// # Example
+///
+/// ```
+/// use flare_has::{BitrateLadder, Level};
+/// use flare_sim::units::Rate;
+///
+/// let ladder = BitrateLadder::simulation();
+/// assert_eq!(ladder.len(), 6);
+/// assert_eq!(
+///     ladder.highest_at_most(Rate::from_kbps(700.0)),
+///     Some(Level::new(2)) // 500 kbps
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitrateLadder {
+    rates: Vec<Rate>,
+}
+
+impl BitrateLadder {
+    /// Creates a ladder from ascending, strictly positive bitrates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty, unsorted, or contains non-positive or
+    /// duplicate entries.
+    pub fn new(rates: Vec<Rate>) -> Self {
+        assert!(!rates.is_empty(), "ladder must have at least one encoding");
+        assert!(rates[0] > Rate::ZERO, "bitrates must be positive");
+        assert!(
+            rates.windows(2).all(|w| w[0] < w[1]),
+            "bitrates must be strictly ascending"
+        );
+        BitrateLadder { rates }
+    }
+
+    /// Builds a ladder from kilobit-per-second values.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BitrateLadder::new`].
+    pub fn from_kbps(kbps: &[u32]) -> Self {
+        BitrateLadder::new(kbps.iter().map(|&k| Rate::from_kbps(f64::from(k))).collect())
+    }
+
+    /// The testbed ladder of Section IV-A:
+    /// {200, 310, 450, 790, 1100, 1320, 2280, 2750} kbps.
+    pub fn testbed() -> Self {
+        BitrateLadder::from_kbps(&[200, 310, 450, 790, 1100, 1320, 2280, 2750])
+    }
+
+    /// The default simulation ladder of Table III:
+    /// {100, 250, 500, 1000, 2000, 3000} kbps.
+    pub fn simulation() -> Self {
+        BitrateLadder::from_kbps(&[100, 250, 500, 1000, 2000, 3000])
+    }
+
+    /// The fine-grained ladder used by Figures 8–10:
+    /// {100, 200, …, 1200} kbps.
+    pub fn fine_grained() -> Self {
+        BitrateLadder::from_kbps(&[100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200])
+    }
+
+    /// Number of encodings (`M_u`).
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the ladder is empty (never true for a constructed ladder).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// The bitrate of `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn rate(&self, level: Level) -> Rate {
+        self.rates[level.index()]
+    }
+
+    /// The lowest encoding.
+    pub fn lowest(&self) -> Level {
+        Level(0)
+    }
+
+    /// The highest encoding.
+    pub fn highest(&self) -> Level {
+        Level(self.rates.len() - 1)
+    }
+
+    /// Clamps `level` into the ladder's range.
+    pub fn clamp(&self, level: Level) -> Level {
+        Level(level.index().min(self.rates.len() - 1))
+    }
+
+    /// The highest level whose rate is `≤ budget` — the paper's rounding
+    /// `L = max{k : r(k) ≤ R}`. Returns `None` when even the lowest encoding
+    /// exceeds the budget.
+    pub fn highest_at_most(&self, budget: Rate) -> Option<Level> {
+        let mut found = None;
+        for (i, r) in self.rates.iter().enumerate() {
+            if *r <= budget {
+                found = Some(Level(i));
+            } else {
+                break;
+            }
+        }
+        found
+    }
+
+    /// Like [`Self::highest_at_most`] but falls back to the lowest encoding,
+    /// which is what actual players do when starved.
+    pub fn highest_at_most_or_lowest(&self, budget: Rate) -> Level {
+        self.highest_at_most(budget).unwrap_or(Level(0))
+    }
+
+    /// Iterates over `(Level, Rate)` pairs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (Level, Rate)> + '_ {
+        self.rates.iter().enumerate().map(|(i, r)| (Level(i), *r))
+    }
+
+    /// All bitrates, ascending.
+    pub fn rates(&self) -> &[Rate] {
+        &self.rates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn level_navigation() {
+        let l = Level::new(2);
+        assert_eq!(l.up(), Level::new(3));
+        assert_eq!(l.down(), Level::new(1));
+        assert_eq!(Level::new(0).down(), Level::new(0));
+        assert_eq!(format!("{:?}", l), "L2");
+        assert_eq!(l.to_string(), "2");
+    }
+
+    #[test]
+    fn paper_ladders_have_documented_shapes() {
+        let t = BitrateLadder::testbed();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.rate(t.lowest()).as_kbps(), 200.0);
+        assert_eq!(t.rate(t.highest()).as_kbps(), 2750.0);
+
+        let s = BitrateLadder::simulation();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.rate(s.highest()).as_kbps(), 3000.0);
+
+        let f = BitrateLadder::fine_grained();
+        assert_eq!(f.len(), 12);
+        assert_eq!(f.rate(Level::new(4)).as_kbps(), 500.0);
+    }
+
+    #[test]
+    fn highest_at_most_brackets() {
+        let l = BitrateLadder::testbed();
+        assert_eq!(l.highest_at_most(Rate::from_kbps(199.0)), None);
+        assert_eq!(l.highest_at_most(Rate::from_kbps(200.0)), Some(Level::new(0)));
+        assert_eq!(l.highest_at_most(Rate::from_kbps(800.0)), Some(Level::new(3)));
+        assert_eq!(l.highest_at_most(Rate::from_kbps(9999.0)), Some(Level::new(7)));
+        assert_eq!(l.highest_at_most_or_lowest(Rate::ZERO), Level::new(0));
+    }
+
+    #[test]
+    fn clamp_saturates() {
+        let l = BitrateLadder::simulation();
+        assert_eq!(l.clamp(Level::new(100)), l.highest());
+        assert_eq!(l.clamp(Level::new(2)), Level::new(2));
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let l = BitrateLadder::testbed();
+        let rates: Vec<f64> = l.iter().map(|(_, r)| r.as_kbps()).collect();
+        let mut sorted = rates.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(rates, sorted);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_ladder_panics() {
+        let _ = BitrateLadder::from_kbps(&[500, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn duplicate_ladder_panics() {
+        let _ = BitrateLadder::from_kbps(&[200, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_ladder_panics() {
+        let _ = BitrateLadder::new(vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn highest_at_most_is_correct_bracket(budget_kbps in 0.0f64..5000.0) {
+            let l = BitrateLadder::testbed();
+            let budget = Rate::from_kbps(budget_kbps);
+            match l.highest_at_most(budget) {
+                Some(level) => {
+                    prop_assert!(l.rate(level) <= budget);
+                    if level < l.highest() {
+                        prop_assert!(l.rate(level.up()) > budget);
+                    }
+                }
+                None => prop_assert!(l.rate(l.lowest()) > budget),
+            }
+        }
+    }
+}

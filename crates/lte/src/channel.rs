@@ -1,0 +1,514 @@
+//! Per-UE channel processes: how a UE's iTbs operating point evolves.
+//!
+//! The paper drives link dynamics three ways, all reproduced here:
+//!
+//! * **Static** — the testbed static scenario pins iTbs = 2
+//!   ([`StaticChannel`]).
+//! * **Triangle wave** — the testbed dynamic scenario sweeps iTbs 1 → 12 → 1
+//!   over a four-minute cycle, each UE starting at a different offset
+//!   ([`TriangleWave`]).
+//! * **Trace** — the ns-3 experiments use a "trace based model"; traces are
+//!   replayed by [`TraceChannel`] and generated from the mobility model in
+//!   [`crate::mobility`].
+//!
+//! [`MarkovChannel`] adds a discrete Gilbert-Elliott-style fading process as
+//! an extension for robustness experiments.
+
+use flare_sim::{Time, TimeDelta};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::tbs::{Itbs, ITBS_MAX};
+
+/// A time-varying channel quality process for one UE.
+///
+/// Implementations must be deterministic: calling `itbs_at` with
+/// non-decreasing times yields a reproducible sequence.
+pub trait ChannelModel {
+    /// Returns the iTbs operating point at simulation time `t`.
+    ///
+    /// Callers must pass non-decreasing `t` values (the eNodeB does).
+    fn itbs_at(&mut self, t: Time) -> Itbs;
+}
+
+/// A channel that never changes — the paper's static testbed scenario.
+///
+/// # Example
+///
+/// ```
+/// use flare_lte::channel::{ChannelModel, StaticChannel};
+/// use flare_lte::Itbs;
+/// use flare_sim::Time;
+///
+/// let mut ch = StaticChannel::new(Itbs::new(2));
+/// assert_eq!(ch.itbs_at(Time::ZERO), Itbs::new(2));
+/// assert_eq!(ch.itbs_at(Time::from_secs(600)), Itbs::new(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticChannel {
+    itbs: Itbs,
+}
+
+impl StaticChannel {
+    /// Creates a channel pinned at `itbs`.
+    pub fn new(itbs: Itbs) -> Self {
+        StaticChannel { itbs }
+    }
+}
+
+impl ChannelModel for StaticChannel {
+    fn itbs_at(&mut self, _t: Time) -> Itbs {
+        self.itbs
+    }
+}
+
+/// A triangle-wave iTbs sweep — the paper's dynamic testbed scenario.
+///
+/// The index ramps linearly from `min` to `max` over half a `period`, then
+/// back down, repeating. `offset` shifts the phase so that heterogeneous UEs
+/// start at different points of the cycle, exactly as in Section IV-A.
+///
+/// # Example
+///
+/// ```
+/// use flare_lte::channel::{ChannelModel, TriangleWave};
+/// use flare_lte::Itbs;
+/// use flare_sim::{Time, TimeDelta};
+///
+/// // Paper setting: iTbs 1..=12, 4-minute cycle.
+/// let mut ch = TriangleWave::new(Itbs::new(1), Itbs::new(12), TimeDelta::from_secs(240), TimeDelta::ZERO);
+/// assert_eq!(ch.itbs_at(Time::ZERO), Itbs::new(1));
+/// assert_eq!(ch.itbs_at(Time::from_secs(120)), Itbs::new(12));
+/// assert_eq!(ch.itbs_at(Time::from_secs(240)), Itbs::new(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriangleWave {
+    min: Itbs,
+    max: Itbs,
+    period: TimeDelta,
+    offset: TimeDelta,
+}
+
+impl TriangleWave {
+    /// Creates a triangle sweep between `min` and `max` with the given cycle
+    /// `period`, phase-shifted by `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `period` is zero.
+    pub fn new(min: Itbs, max: Itbs, period: TimeDelta, offset: TimeDelta) -> Self {
+        assert!(min <= max, "triangle wave requires min <= max");
+        assert!(!period.is_zero(), "triangle wave requires a non-zero period");
+        TriangleWave { min, max, period, offset }
+    }
+}
+
+impl ChannelModel for TriangleWave {
+    fn itbs_at(&mut self, t: Time) -> Itbs {
+        let pos_ms = (t.as_millis() + self.offset.as_millis()) % self.period.as_millis();
+        let half = self.period.as_millis() as f64 / 2.0;
+        let span = f64::from(self.max.index() - self.min.index());
+        let frac = if (pos_ms as f64) < half {
+            pos_ms as f64 / half
+        } else {
+            (self.period.as_millis() - pos_ms) as f64 / half
+        };
+        let idx = f64::from(self.min.index()) + frac * span;
+        Itbs::saturating_new(idx.round() as u8)
+    }
+}
+
+/// Replays a recorded `(time, iTbs)` trace, holding each value until the next
+/// entry — the ns-3 "trace based model".
+///
+/// # Example
+///
+/// ```
+/// use flare_lte::channel::{ChannelModel, TraceChannel};
+/// use flare_lte::Itbs;
+/// use flare_sim::Time;
+///
+/// let mut ch = TraceChannel::new(vec![
+///     (Time::ZERO, Itbs::new(5)),
+///     (Time::from_secs(10), Itbs::new(9)),
+/// ]);
+/// assert_eq!(ch.itbs_at(Time::from_secs(3)), Itbs::new(5));
+/// assert_eq!(ch.itbs_at(Time::from_secs(12)), Itbs::new(9));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceChannel {
+    trace: Vec<(Time, Itbs)>,
+    cursor: usize,
+}
+
+impl TraceChannel {
+    /// Creates a trace playback channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty, does not start at time zero, or is not
+    /// sorted by time.
+    pub fn new(trace: Vec<(Time, Itbs)>) -> Self {
+        assert!(!trace.is_empty(), "trace must be non-empty");
+        assert_eq!(trace[0].0, Time::ZERO, "trace must start at t=0");
+        assert!(
+            trace.windows(2).all(|w| w[0].0 <= w[1].0),
+            "trace must be sorted by time"
+        );
+        TraceChannel { trace, cursor: 0 }
+    }
+
+    /// Returns the underlying trace.
+    pub fn trace(&self) -> &[(Time, Itbs)] {
+        &self.trace
+    }
+}
+
+/// A malformed channel-trace document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// A line did not have the `time_ms,itbs` shape.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An iTbs value was out of range.
+    BadItbs {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The document had no entries.
+    Empty,
+    /// Entries were unsorted or did not start at t = 0.
+    BadTimeline,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTraceError::BadLine { line } => {
+                write!(f, "line {line} is not `time_ms,itbs`")
+            }
+            ParseTraceError::BadItbs { line } => {
+                write!(f, "line {line} has an iTbs outside 0..=26")
+            }
+            ParseTraceError::Empty => write!(f, "trace has no entries"),
+            ParseTraceError::BadTimeline => {
+                write!(f, "trace must be sorted and start at t=0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl TraceChannel {
+    /// Serializes the trace as `time_ms,itbs` lines (one per entry) — the
+    /// on-disk format for recorded channel traces.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (t, itbs) in &self.trace {
+            out.push_str(&format!("{},{}\n", t.as_millis(), itbs.index()));
+        }
+        out
+    }
+
+    /// Parses a trace from [`TraceChannel::to_csv`]'s format. Blank lines
+    /// and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseTraceError`] on malformed lines, out-of-range iTbs
+    /// values, an empty document, or an unsorted timeline.
+    pub fn from_csv(text: &str) -> Result<TraceChannel, ParseTraceError> {
+        let mut trace = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let content = raw.trim();
+            if content.is_empty() || content.starts_with('#') {
+                continue;
+            }
+            let (t, v) = content
+                .split_once(',')
+                .ok_or(ParseTraceError::BadLine { line })?;
+            let ms: u64 = t
+                .trim()
+                .parse()
+                .map_err(|_| ParseTraceError::BadLine { line })?;
+            let idx: u8 = v
+                .trim()
+                .parse()
+                .map_err(|_| ParseTraceError::BadLine { line })?;
+            if idx > ITBS_MAX {
+                return Err(ParseTraceError::BadItbs { line });
+            }
+            trace.push((Time::from_millis(ms), Itbs::new(idx)));
+        }
+        if trace.is_empty() {
+            return Err(ParseTraceError::Empty);
+        }
+        if trace[0].0 != Time::ZERO || trace.windows(2).any(|w| w[0].0 > w[1].0) {
+            return Err(ParseTraceError::BadTimeline);
+        }
+        Ok(TraceChannel { trace, cursor: 0 })
+    }
+}
+
+impl ChannelModel for TraceChannel {
+    fn itbs_at(&mut self, t: Time) -> Itbs {
+        // Monotone queries: advance a cursor instead of binary-searching.
+        while self.cursor + 1 < self.trace.len() && self.trace[self.cursor + 1].0 <= t {
+            self.cursor += 1;
+        }
+        // Support occasional rewinds (e.g. a fresh component querying t=0).
+        if self.trace[self.cursor].0 > t {
+            self.cursor = match self.trace.binary_search_by_key(&t, |e| e.0) {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) => i - 1,
+            };
+        }
+        self.trace[self.cursor].1
+    }
+}
+
+/// A bounded random-walk fading process (Gilbert-Elliott flavoured).
+///
+/// Every `step` interval the index moves −1, 0, or +1 with probability
+/// `p_move / 2`, `1 − p_move`, `p_move / 2`, clamped to `[min, max]`. Used by
+/// robustness/ablation experiments; not part of the paper's scenarios.
+#[derive(Debug)]
+pub struct MarkovChannel {
+    min: u8,
+    max: u8,
+    current: u8,
+    step: TimeDelta,
+    p_move: f64,
+    next_update: Time,
+    rng: SmallRng,
+}
+
+impl MarkovChannel {
+    /// Creates a random-walk channel starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are invalid, `start` is outside them, `step` is
+    /// zero, or `p_move` is not a probability.
+    pub fn new(min: Itbs, max: Itbs, start: Itbs, step: TimeDelta, p_move: f64, rng: SmallRng) -> Self {
+        assert!(min <= max, "markov channel requires min <= max");
+        assert!(start >= min && start <= max, "start must lie within bounds");
+        assert!(!step.is_zero(), "update step must be non-zero");
+        assert!((0.0..=1.0).contains(&p_move), "p_move must be a probability");
+        MarkovChannel {
+            min: min.index(),
+            max: max.index(),
+            current: start.index(),
+            step,
+            p_move,
+            next_update: Time::ZERO + step,
+            rng,
+        }
+    }
+}
+
+impl ChannelModel for MarkovChannel {
+    fn itbs_at(&mut self, t: Time) -> Itbs {
+        while self.next_update <= t {
+            let u: f64 = self.rng.gen();
+            if u < self.p_move / 2.0 {
+                self.current = self.current.saturating_sub(1).max(self.min);
+            } else if u < self.p_move {
+                self.current = (self.current + 1).min(self.max).min(ITBS_MAX);
+            }
+            self.next_update += self.step;
+        }
+        Itbs::new(self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_sim::rng::stream;
+    use proptest::prelude::*;
+
+    #[test]
+    fn static_channel_is_constant() {
+        let mut ch = StaticChannel::new(Itbs::new(7));
+        for s in 0..100 {
+            assert_eq!(ch.itbs_at(Time::from_secs(s)), Itbs::new(7));
+        }
+    }
+
+    #[test]
+    fn triangle_hits_min_and_max() {
+        let mut ch = TriangleWave::new(
+            Itbs::new(1),
+            Itbs::new(12),
+            TimeDelta::from_secs(240),
+            TimeDelta::ZERO,
+        );
+        assert_eq!(ch.itbs_at(Time::ZERO), Itbs::new(1));
+        assert_eq!(ch.itbs_at(Time::from_secs(120)), Itbs::new(12));
+        assert_eq!(ch.itbs_at(Time::from_secs(240)), Itbs::new(1));
+        assert_eq!(ch.itbs_at(Time::from_secs(360)), Itbs::new(12));
+    }
+
+    #[test]
+    fn triangle_offset_shifts_phase() {
+        let period = TimeDelta::from_secs(240);
+        let mut a = TriangleWave::new(Itbs::new(1), Itbs::new(12), period, TimeDelta::ZERO);
+        let mut b = TriangleWave::new(
+            Itbs::new(1),
+            Itbs::new(12),
+            period,
+            TimeDelta::from_secs(120),
+        );
+        assert_eq!(b.itbs_at(Time::ZERO), a.itbs_at(Time::from_secs(120)));
+        assert_eq!(b.itbs_at(Time::from_secs(120)), a.itbs_at(Time::from_secs(240)));
+    }
+
+    #[test]
+    fn triangle_is_continuous_enough() {
+        // Neighbouring milliseconds never jump more than one index.
+        let mut ch = TriangleWave::new(
+            Itbs::new(1),
+            Itbs::new(12),
+            TimeDelta::from_secs(240),
+            TimeDelta::from_secs(33),
+        );
+        let mut prev = ch.itbs_at(Time::ZERO);
+        for ms in 1..=480_000u64 {
+            let cur = ch.itbs_at(Time::from_millis(ms));
+            let delta = i16::from(cur.index()) - i16::from(prev.index());
+            assert!(delta.abs() <= 1, "jump of {delta} at {ms}ms");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn trace_holds_between_entries() {
+        let mut ch = TraceChannel::new(vec![
+            (Time::ZERO, Itbs::new(3)),
+            (Time::from_secs(5), Itbs::new(8)),
+            (Time::from_secs(9), Itbs::new(1)),
+        ]);
+        assert_eq!(ch.itbs_at(Time::ZERO), Itbs::new(3));
+        assert_eq!(ch.itbs_at(Time::from_millis(4999)), Itbs::new(3));
+        assert_eq!(ch.itbs_at(Time::from_secs(5)), Itbs::new(8));
+        assert_eq!(ch.itbs_at(Time::from_secs(100)), Itbs::new(1));
+    }
+
+    #[test]
+    fn trace_supports_rewind() {
+        let mut ch = TraceChannel::new(vec![
+            (Time::ZERO, Itbs::new(3)),
+            (Time::from_secs(5), Itbs::new(8)),
+        ]);
+        assert_eq!(ch.itbs_at(Time::from_secs(7)), Itbs::new(8));
+        assert_eq!(ch.itbs_at(Time::from_secs(1)), Itbs::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "start at t=0")]
+    fn trace_must_start_at_zero() {
+        let _ = TraceChannel::new(vec![(Time::from_secs(1), Itbs::new(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn trace_must_be_non_empty() {
+        let _ = TraceChannel::new(vec![]);
+    }
+
+    #[test]
+    fn trace_csv_round_trips() {
+        let original = TraceChannel::new(vec![
+            (Time::ZERO, Itbs::new(3)),
+            (Time::from_secs(5), Itbs::new(8)),
+            (Time::from_secs(9), Itbs::new(1)),
+        ]);
+        let csv = original.to_csv();
+        assert_eq!(csv, "0,3\n5000,8\n9000,1\n");
+        let parsed = TraceChannel::from_csv(&csv).unwrap();
+        assert_eq!(parsed.trace(), original.trace());
+    }
+
+    #[test]
+    fn trace_csv_ignores_comments_and_blanks() {
+        let text = "# recorded ue-3\n\n0,5\n\n100, 7\n";
+        let parsed = TraceChannel::from_csv(text).unwrap();
+        assert_eq!(parsed.trace().len(), 2);
+        assert_eq!(parsed.trace()[1], (Time::from_millis(100), Itbs::new(7)));
+    }
+
+    #[test]
+    fn trace_csv_rejects_malformed_documents() {
+        assert_eq!(
+            TraceChannel::from_csv("0;5\n"),
+            Err(ParseTraceError::BadLine { line: 1 })
+        );
+        assert_eq!(
+            TraceChannel::from_csv("0,99\n"),
+            Err(ParseTraceError::BadItbs { line: 1 })
+        );
+        assert_eq!(TraceChannel::from_csv("# nothing\n"), Err(ParseTraceError::Empty));
+        assert_eq!(
+            TraceChannel::from_csv("100,5\n"),
+            Err(ParseTraceError::BadTimeline)
+        );
+        assert_eq!(
+            TraceChannel::from_csv("0,5\n200,6\n100,7\n"),
+            Err(ParseTraceError::BadTimeline)
+        );
+        // Errors render human-readable messages.
+        assert_eq!(
+            ParseTraceError::BadItbs { line: 3 }.to_string(),
+            "line 3 has an iTbs outside 0..=26"
+        );
+    }
+
+    #[test]
+    fn markov_stays_in_bounds_and_reproduces() {
+        let mk = |seed| {
+            MarkovChannel::new(
+                Itbs::new(3),
+                Itbs::new(15),
+                Itbs::new(9),
+                TimeDelta::from_millis(100),
+                0.5,
+                stream(seed, "markov", 0),
+            )
+        };
+        let mut a = mk(1);
+        let mut b = mk(1);
+        for s in 0..200 {
+            let t = Time::from_millis(s * 137);
+            let va = a.itbs_at(t);
+            assert_eq!(va, b.itbs_at(t), "same seed must reproduce");
+            assert!(va >= Itbs::new(3) && va <= Itbs::new(15));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn triangle_always_within_bounds(
+            min in 0u8..10, span in 1u8..16, period_s in 1u64..600, off_s in 0u64..600, t_s in 0u64..3600
+        ) {
+            let lo = Itbs::new(min);
+            let hi = Itbs::new(min + span);
+            let mut ch = TriangleWave::new(lo, hi, TimeDelta::from_secs(period_s), TimeDelta::from_secs(off_s));
+            let v = ch.itbs_at(Time::from_secs(t_s));
+            prop_assert!(v >= lo && v <= hi);
+        }
+
+        #[test]
+        fn triangle_is_periodic(period_s in 2u64..600, t_s in 0u64..1200) {
+            let mut ch = TriangleWave::new(Itbs::new(1), Itbs::new(12), TimeDelta::from_secs(period_s), TimeDelta::ZERO);
+            let a = ch.itbs_at(Time::from_secs(t_s));
+            let b = ch.itbs_at(Time::from_secs(t_s + period_s));
+            prop_assert_eq!(a, b);
+        }
+    }
+}

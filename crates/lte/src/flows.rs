@@ -1,0 +1,76 @@
+//! Flow identities and traffic classes.
+
+use std::fmt;
+
+/// Identifies one downlink flow (one bearer of one UE) within a cell.
+///
+/// Flow ids are dense indices handed out by [`crate::ENodeB::add_flow`] in
+/// attachment order; they are stable for the lifetime of the cell.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub(crate) u32);
+
+impl FlowId {
+    /// Returns the dense index of this flow.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The traffic class of a flow.
+///
+/// FLARE treats video flows (set `U` in the paper) and best-effort data flows
+/// (set `D`) differently: video flows get GBR bearers, data flows are served
+/// from the leftover resource share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowClass {
+    /// An HTTP adaptive streaming video flow (paper set `U`).
+    Video,
+    /// A best-effort TCP data flow (paper set `D`), always backlogged.
+    Data,
+}
+
+impl fmt::Display for FlowClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowClass::Video => write!(f, "video"),
+            FlowClass::Data => write!(f, "data"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_id_formats() {
+        let id = FlowId(3);
+        assert_eq!(format!("{id:?}"), "flow#3");
+        assert_eq!(id.to_string(), "3");
+        assert_eq!(id.index(), 3);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(FlowClass::Video.to_string(), "video");
+        assert_eq!(FlowClass::Data.to_string(), "data");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(FlowId(1) < FlowId(2));
+        assert_eq!(FlowId(5), FlowId(5));
+    }
+}

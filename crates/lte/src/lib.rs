@@ -1,0 +1,53 @@
+//! LTE cell substrate for the FLARE reproduction.
+//!
+//! The FLARE paper evaluates on two platforms: a commodity LTE femtocell
+//! (JL-620: 10 MHz FDD, 50 resource blocks per 1 ms TTI, with an "iTbs
+//! override" module used to emulate time-varying link bandwidth) and the ns-3
+//! LTE module with the Priority Set Scheduler. This crate replaces both with
+//! one deterministic TTI-level cell simulator exposing the same observables
+//! the paper's algorithms consume:
+//!
+//! * per-flow `(n_u, b_u)` — resource blocks assigned and bytes transmitted
+//!   per bitrate-assignment interval (the RB & Rate Trace / Statistics
+//!   Reporter modules of Figure 3),
+//! * per-flow throughput,
+//! * enforcement knobs: per-flow GBR (guaranteed bit rate, the Continuous GBR
+//!   Updater) and MBR (maximum bit rate, used by AVIS).
+//!
+//! The main entry point is [`ENodeB`]: configure a [`CellConfig`], attach
+//! flows with [`ENodeB::add_flow`], give each UE a [`channel::ChannelModel`],
+//! then call [`ENodeB::step_tti`] once per millisecond.
+//!
+//! # Example
+//!
+//! ```
+//! use flare_lte::channel::StaticChannel;
+//! use flare_lte::scheduler::TwoPhaseGbr;
+//! use flare_lte::{CellConfig, ENodeB, FlowClass, Itbs};
+//! use flare_sim::units::Rate;
+//! use flare_sim::Time;
+//!
+//! let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
+//! let video = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(12))));
+//! enb.set_gbr(video, Some(Rate::from_kbps(790.0)));
+//! enb.push_backlog(video, flare_sim::units::ByteCount::new(1_000_000));
+//! let delivered = enb.step_tti(Time::ZERO);
+//! assert!(delivered.iter().any(|d| d.flow == video && !d.bytes.is_zero()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bearer;
+pub mod channel;
+mod enodeb;
+mod flows;
+pub mod mobility;
+pub mod scheduler;
+mod stats;
+mod tbs;
+
+pub use enodeb::{CellConfig, Delivered, ENodeB};
+pub use flows::{FlowClass, FlowId};
+pub use stats::{FlowIntervalStats, IntervalReport};
+pub use tbs::{Itbs, LinkAdaptation, ITBS_MAX};

@@ -1,0 +1,274 @@
+//! Per-TTI MAC schedulers.
+//!
+//! The policies match the systems the paper builds on, plus one classical
+//! baseline:
+//!
+//! * [`ProportionalFair`] — the legacy PF scheduler every policy falls back
+//!   to for non-GBR traffic.
+//! * [`TwoPhaseGbr`] — the paper's femtocell Scheduler Module: phase 1
+//!   serves video flows up to their GBR, phase 2 hands the remaining RBs to
+//!   proportional fair across all backlogged flows (this is what lets FLARE
+//!   opportunistically reuse data-flow RBs for video when the optimizer lags
+//!   link dynamics, cf. Section IV-A).
+//! * [`RoundRobin`] — the classical channel-blind baseline, for ablations
+//!   quantifying proportional fair's multi-user-diversity gain.
+//! * [`PrioritySetScheduler`] — the ns-3 scheduler used in Section IV-B:
+//!   GBR flows below their target rate get strict priority ordered by
+//!   deficit; the remainder is proportional fair. It also honours MBR caps,
+//!   which is how AVIS enforces its per-flow allocations.
+
+mod pf;
+mod priority_set;
+mod round_robin;
+mod two_phase;
+
+pub use pf::ProportionalFair;
+pub use priority_set::PrioritySetScheduler;
+pub use round_robin::RoundRobin;
+pub use two_phase::{StrictGbrPartition, TwoPhaseGbr};
+
+use flare_sim::units::ByteCount;
+
+use crate::flows::{FlowClass, FlowId};
+
+/// Everything a scheduler may consult about one flow in one TTI.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowTtiState {
+    /// The flow being scheduled.
+    pub flow: FlowId,
+    /// Its traffic class.
+    pub class: FlowClass,
+    /// Bytes waiting to be sent, already clamped by any MBR allowance.
+    pub backlog: ByteCount,
+    /// Deliverable bits per resource block at the flow's current iTbs.
+    pub bits_per_rb: f64,
+    /// Outstanding GBR service credit in bytes (zero for non-GBR bearers).
+    pub gbr_credit: ByteCount,
+}
+
+impl FlowTtiState {
+    /// RBs needed to move `bytes` at this flow's current operating point.
+    pub fn rbs_for_bytes(&self, bytes: ByteCount) -> u32 {
+        if bytes.is_zero() {
+            return 0;
+        }
+        ((bytes.as_bits() as f64) / self.bits_per_rb).ceil() as u32
+    }
+
+    /// Whole bytes deliverable with `rbs` resource blocks.
+    pub fn bytes_for_rbs(&self, rbs: u32) -> ByteCount {
+        ByteCount::new((self.bits_per_rb * f64::from(rbs) / 8.0).floor() as u64)
+    }
+}
+
+/// One flow's share of a TTI's resource blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RbAllocation {
+    /// The flow receiving the grant.
+    pub flow: FlowId,
+    /// Number of RBs granted this TTI.
+    pub rbs: u32,
+}
+
+/// A per-TTI downlink MAC scheduler.
+///
+/// Implementations must be deterministic and must never allocate more than
+/// `n_rbs` blocks in total (the eNodeB asserts this).
+pub trait MacScheduler {
+    /// Distributes `n_rbs` resource blocks among `flows` for one TTI.
+    ///
+    /// `flows` is ordered by flow id; implementations must break metric ties
+    /// the same way to keep runs reproducible.
+    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation>;
+
+    /// A short human-readable policy name (for experiment logs).
+    fn name(&self) -> &'static str;
+}
+
+/// Shared helper: exponentially averaged per-flow throughput used by the PF
+/// metric. The time constant is in TTIs (1 ms each); ns-3's PF default is
+/// an effective window of about one second.
+#[derive(Debug, Clone)]
+pub(crate) struct PfAverages {
+    tc_ttis: f64,
+    avgs: Vec<f64>,
+}
+
+impl PfAverages {
+    pub(crate) fn new(tc_ttis: f64) -> Self {
+        assert!(tc_ttis >= 1.0, "PF time constant must be >= 1 TTI");
+        PfAverages { tc_ttis, avgs: Vec::new() }
+    }
+
+    fn ensure(&mut self, flow: FlowId) {
+        let idx = flow.index();
+        if idx >= self.avgs.len() {
+            // Small positive prior so brand-new flows don't divide by zero
+            // and immediately win every RB forever.
+            self.avgs.resize(idx + 1, 1.0);
+        }
+    }
+
+    /// PF metric: achievable rate over averaged rate.
+    pub(crate) fn metric(&mut self, state: &FlowTtiState) -> f64 {
+        self.ensure(state.flow);
+        let inst_bps = state.bits_per_rb * 1000.0; // one RB every TTI
+        inst_bps / self.avgs[state.flow.index()]
+    }
+
+    /// Folds one TTI's delivered bits into the average of every flow.
+    pub(crate) fn update(&mut self, flow: FlowId, delivered_bits: f64) {
+        self.ensure(flow);
+        let a = &mut self.avgs[flow.index()];
+        *a = (1.0 - 1.0 / self.tc_ttis) * *a + (1.0 / self.tc_ttis) * delivered_bits * 1000.0;
+    }
+}
+
+/// Shared helper: greedy PF pass over whatever backlog remains.
+///
+/// Repeatedly grants the metric-argmax flow enough RBs to drain its backlog
+/// (or whatever is left), updating `grants`. Returns the RBs still free.
+pub(crate) fn pf_pass(
+    averages: &mut PfAverages,
+    mut rbs_left: u32,
+    flows: &[FlowTtiState],
+    already_granted: &mut Vec<RbAllocation>,
+) -> u32 {
+    // Remaining backlog after earlier phases.
+    let mut remaining: Vec<ByteCount> = flows
+        .iter()
+        .map(|f| {
+            let granted = already_granted
+                .iter()
+                .find(|g| g.flow == f.flow)
+                .map_or(0, |g| g.rbs);
+            f.backlog.saturating_sub(f.bytes_for_rbs(granted))
+        })
+        .collect();
+
+    while rbs_left > 0 {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, f) in flows.iter().enumerate() {
+            if remaining[i].is_zero() {
+                continue;
+            }
+            let m = averages.metric(f);
+            // Strictly-greater keeps ties on the lowest flow id.
+            if best.is_none_or(|(_, bm)| m > bm) {
+                best = Some((i, m));
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let f = &flows[i];
+        let want = f.rbs_for_bytes(remaining[i]).min(rbs_left);
+        let grant = want.max(1).min(rbs_left);
+        push_grant(already_granted, f.flow, grant);
+        let delivered = f.bytes_for_rbs(grant).min(remaining[i]);
+        remaining[i] = remaining[i].saturating_sub(delivered);
+        rbs_left -= grant;
+    }
+    rbs_left
+}
+
+/// Adds `rbs` to an existing grant for `flow`, or appends a new one.
+pub(crate) fn push_grant(grants: &mut Vec<RbAllocation>, flow: FlowId, rbs: u32) {
+    if rbs == 0 {
+        return;
+    }
+    if let Some(g) = grants.iter_mut().find(|g| g.flow == flow) {
+        g.rbs += rbs;
+    } else {
+        grants.push(RbAllocation { flow, rbs });
+    }
+}
+
+/// Folds one TTI's outcome into the PF averages for all flows.
+pub(crate) fn settle_averages(
+    averages: &mut PfAverages,
+    flows: &[FlowTtiState],
+    grants: &[RbAllocation],
+) {
+    for f in flows {
+        let rbs = grants.iter().find(|g| g.flow == f.flow).map_or(0, |g| g.rbs);
+        let delivered = f.bytes_for_rbs(rbs).min(f.backlog);
+        averages.update(f.flow, delivered.as_bits() as f64);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Builds a flow TTI state for scheduler tests.
+    pub(crate) fn flow(
+        id: u32,
+        class: FlowClass,
+        backlog: u64,
+        bits_per_rb: f64,
+        gbr_credit: u64,
+    ) -> FlowTtiState {
+        FlowTtiState {
+            flow: FlowId(id),
+            class,
+            backlog: ByteCount::new(backlog),
+            bits_per_rb,
+            gbr_credit: ByteCount::new(gbr_credit),
+        }
+    }
+
+    /// Total RBs in a grant list.
+    pub(crate) fn total(grants: &[RbAllocation]) -> u32 {
+        grants.iter().map(|g| g.rbs).sum()
+    }
+
+    /// RBs granted to one flow.
+    pub(crate) fn rbs_of(grants: &[RbAllocation], id: u32) -> u32 {
+        grants.iter().find(|g| g.flow == FlowId(id)).map_or(0, |g| g.rbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn rbs_for_bytes_round_trip() {
+        let f = flow(0, FlowClass::Video, 0, 128.0, 0);
+        assert_eq!(f.rbs_for_bytes(ByteCount::new(0)), 0);
+        // 16 bytes = 128 bits = exactly 1 RB.
+        assert_eq!(f.rbs_for_bytes(ByteCount::new(16)), 1);
+        assert_eq!(f.rbs_for_bytes(ByteCount::new(17)), 2);
+        assert_eq!(f.bytes_for_rbs(2), ByteCount::new(32));
+    }
+
+    #[test]
+    fn push_grant_merges() {
+        let mut g = Vec::new();
+        push_grant(&mut g, FlowId(1), 3);
+        push_grant(&mut g, FlowId(1), 2);
+        push_grant(&mut g, FlowId(2), 0);
+        assert_eq!(g, vec![RbAllocation { flow: FlowId(1), rbs: 5 }]);
+    }
+
+    #[test]
+    fn pf_averages_prior_prevents_div_by_zero() {
+        let mut avg = PfAverages::new(1000.0);
+        let f = flow(0, FlowClass::Data, 100, 128.0, 0);
+        let m = avg.metric(&f);
+        assert!(m.is_finite() && m > 0.0);
+    }
+
+    #[test]
+    fn pf_averages_decay_towards_service_rate() {
+        let mut avg = PfAverages::new(100.0);
+        let id = FlowId(0);
+        for _ in 0..5000 {
+            avg.update(id, 1000.0); // 1000 bits per TTI = 1 Mbps
+        }
+        let f = flow(0, FlowClass::Data, 100, 128.0, 0);
+        let m = avg.metric(&f);
+        // metric = 128k / ~1M
+        assert!((m - 0.128).abs() < 0.01, "metric {m}");
+    }
+}

@@ -1,0 +1,137 @@
+//! The ns-3 Priority Set Scheduler analogue used by the simulation study.
+
+use super::{pf_pass, push_grant, settle_averages, FlowTtiState, MacScheduler, PfAverages, RbAllocation};
+
+/// Priority-Set scheduling (Monghal et al., the scheduler the paper modifies
+/// in ns-3): flows below their target (GBR) rate form a priority set served
+/// strictly first, ordered by *descending deficit*; remaining RBs go to
+/// proportional fair across all backlogged flows.
+///
+/// The difference from [`super::TwoPhaseGbr`] is the deficit ordering inside
+/// the priority set — under overload, the most-starved GBR flow is served
+/// first instead of the lowest flow id, which matters when many video flows
+/// compete (the Section IV-B scenarios).
+///
+/// # Example
+///
+/// ```
+/// use flare_lte::scheduler::{MacScheduler, PrioritySetScheduler};
+/// let mut s = PrioritySetScheduler::default();
+/// assert_eq!(s.name(), "priority-set");
+/// assert!(s.allocate(50, &[]).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrioritySetScheduler {
+    averages: PfAverages,
+}
+
+impl PrioritySetScheduler {
+    /// Creates the scheduler with a PF time constant in TTIs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tc_ttis < 1`.
+    pub fn new(tc_ttis: f64) -> Self {
+        PrioritySetScheduler {
+            averages: PfAverages::new(tc_ttis),
+        }
+    }
+}
+
+impl Default for PrioritySetScheduler {
+    /// One-second PF averaging window.
+    fn default() -> Self {
+        PrioritySetScheduler::new(1000.0)
+    }
+}
+
+impl MacScheduler for PrioritySetScheduler {
+    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation> {
+        let mut grants = Vec::new();
+        let mut rbs_left = n_rbs;
+
+        // Priority set: flows with outstanding GBR credit, most-starved first
+        // (ties broken by flow id via the stable sort).
+        let mut prio: Vec<&FlowTtiState> = flows
+            .iter()
+            .filter(|f| !f.gbr_credit.min(f.backlog).is_zero())
+            .collect();
+        prio.sort_by(|a, b| {
+            b.gbr_credit
+                .cmp(&a.gbr_credit)
+                .then_with(|| a.flow.cmp(&b.flow))
+        });
+        for f in prio {
+            if rbs_left == 0 {
+                break;
+            }
+            let owed = f.gbr_credit.min(f.backlog);
+            let want = f.rbs_for_bytes(owed).min(rbs_left);
+            push_grant(&mut grants, f.flow, want);
+            rbs_left -= want;
+        }
+
+        pf_pass(&mut self.averages, rbs_left, flows, &mut grants);
+        settle_averages(&mut self.averages, flows, &grants);
+        grants
+    }
+
+    fn name(&self) -> &'static str {
+        "priority-set"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::flows::FlowClass;
+
+    #[test]
+    fn most_starved_flow_served_first_under_overload() {
+        let mut s = PrioritySetScheduler::default();
+        // Flow 1 is owed more than flow 0; under a 50-RB budget flow 1 wins.
+        let flows = vec![
+            flow(0, FlowClass::Video, 1_000_000, 128.0, 800),
+            flow(1, FlowClass::Video, 1_000_000, 128.0, 1600),
+        ];
+        let grants = s.allocate(50, &flows);
+        assert_eq!(rbs_of(&grants, 1), 50);
+        assert_eq!(rbs_of(&grants, 0), 0);
+    }
+
+    #[test]
+    fn equal_deficits_break_ties_by_flow_id() {
+        let mut s = PrioritySetScheduler::default();
+        let flows = vec![
+            flow(0, FlowClass::Video, 1_000_000, 128.0, 1600),
+            flow(1, FlowClass::Video, 1_000_000, 128.0, 1600),
+        ];
+        let grants = s.allocate(50, &flows);
+        assert_eq!(rbs_of(&grants, 0), 50);
+    }
+
+    #[test]
+    fn leftover_goes_to_pf() {
+        let mut s = PrioritySetScheduler::default();
+        let flows = vec![
+            flow(0, FlowClass::Video, 160, 128.0, 160),
+            flow(1, FlowClass::Data, 1_000_000, 128.0, 0),
+        ];
+        let grants = s.allocate(50, &flows);
+        assert_eq!(rbs_of(&grants, 0), 10);
+        assert_eq!(rbs_of(&grants, 1), 40);
+    }
+
+    #[test]
+    fn never_over_allocates() {
+        let mut s = PrioritySetScheduler::default();
+        let flows: Vec<_> = (0..16)
+            .map(|i| flow(i, FlowClass::Video, 1_000_000, 64.0 + f64::from(i), 500))
+            .collect();
+        for _ in 0..100 {
+            let grants = s.allocate(50, &flows);
+            assert!(total(&grants) <= 50);
+        }
+    }
+}

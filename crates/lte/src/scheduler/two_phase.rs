@@ -1,0 +1,242 @@
+//! The femtocell Scheduler Module: GBR phase + proportional-fair phase.
+
+
+use super::{pf_pass, push_grant, settle_averages, FlowTtiState, MacScheduler, PfAverages, RbAllocation};
+
+/// Two-phase GBR scheduling, as implemented in the paper's eNodeB MAC
+/// (Section III-B):
+///
+/// * **Phase 1** serves each flow's outstanding GBR credit, in flow-id
+///   order, until the credit or the TTI's RBs run out.
+/// * **Phase 2** hands every remaining RB to legacy proportional fair over
+///   *all* backlogged flows — video and data alike — which is what lets the
+///   cell opportunistically reuse slack for video when the network-side
+///   optimizer lags the channel.
+///
+/// # Example
+///
+/// ```
+/// use flare_lte::scheduler::{MacScheduler, TwoPhaseGbr};
+/// let mut s = TwoPhaseGbr::default();
+/// assert_eq!(s.name(), "two-phase-gbr");
+/// assert!(s.allocate(50, &[]).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoPhaseGbr {
+    averages: PfAverages,
+}
+
+impl TwoPhaseGbr {
+    /// Creates the scheduler with a PF time constant in TTIs for phase 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tc_ttis < 1`.
+    pub fn new(tc_ttis: f64) -> Self {
+        TwoPhaseGbr {
+            averages: PfAverages::new(tc_ttis),
+        }
+    }
+}
+
+impl Default for TwoPhaseGbr {
+    /// One-second PF averaging window.
+    fn default() -> Self {
+        TwoPhaseGbr::new(1000.0)
+    }
+}
+
+impl MacScheduler for TwoPhaseGbr {
+    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation> {
+        let mut grants = Vec::new();
+        let mut rbs_left = n_rbs;
+
+        // Phase 1: clear GBR credit in flow-id order.
+        for f in flows {
+            if rbs_left == 0 {
+                break;
+            }
+            let owed = f.gbr_credit.min(f.backlog);
+            if owed.is_zero() {
+                continue;
+            }
+            let want = f.rbs_for_bytes(owed).min(rbs_left);
+            push_grant(&mut grants, f.flow, want);
+            rbs_left -= want;
+        }
+
+        // Phase 2: PF over whatever backlog remains.
+        pf_pass(&mut self.averages, rbs_left, flows, &mut grants);
+        settle_averages(&mut self.averages, flows, &grants);
+        grants
+    }
+
+    fn name(&self) -> &'static str {
+        "two-phase-gbr"
+    }
+}
+
+/// Suppresses phase-2 sharing: GBR flows get exactly their credit and data
+/// flows split the rest, never vice versa. Used by the ablation that shows
+/// why the paper's opportunistic phase 2 matters.
+#[derive(Debug, Clone)]
+pub struct StrictGbrPartition {
+    averages: PfAverages,
+}
+
+impl StrictGbrPartition {
+    /// Creates the strict-partition scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tc_ttis < 1`.
+    pub fn new(tc_ttis: f64) -> Self {
+        StrictGbrPartition {
+            averages: PfAverages::new(tc_ttis),
+        }
+    }
+}
+
+impl Default for StrictGbrPartition {
+    fn default() -> Self {
+        StrictGbrPartition::new(1000.0)
+    }
+}
+
+impl MacScheduler for StrictGbrPartition {
+    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation> {
+        let mut grants = Vec::new();
+        let mut rbs_left = n_rbs;
+        for f in flows {
+            if rbs_left == 0 {
+                break;
+            }
+            // Reserve by *credit*, not by backlog: an idle sliced flow still
+            // holds its RBs, modelling AVIS-style static resource slicing
+            // (the reserved-but-unused blocks are the waste the paper's
+            // Section I-B attributes to static partitioning).
+            let owed = f.gbr_credit;
+            if owed.is_zero() {
+                continue;
+            }
+            let want = f.rbs_for_bytes(owed).min(rbs_left);
+            push_grant(&mut grants, f.flow, want);
+            rbs_left -= want;
+        }
+        // Phase 2 restricted to flows *without* a GBR bearer.
+        let non_gbr: Vec<FlowTtiState> = flows
+            .iter()
+            .filter(|f| f.gbr_credit.is_zero())
+            .copied()
+            .collect();
+        pf_pass(&mut self.averages, rbs_left, &non_gbr, &mut grants);
+        settle_averages(&mut self.averages, flows, &grants);
+        grants
+    }
+
+    fn name(&self) -> &'static str {
+        "strict-gbr-partition"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::flows::FlowClass;
+
+    #[test]
+    fn gbr_credit_served_first() {
+        let mut s = TwoPhaseGbr::default();
+        // Flow 0 is a GBR video flow owed 160 bytes (10 RBs at 128 b/RB);
+        // flow 1 is greedy data.
+        let flows = vec![
+            flow(0, FlowClass::Video, 10_000, 128.0, 160),
+            flow(1, FlowClass::Data, 1_000_000, 128.0, 0),
+        ];
+        let grants = s.allocate(50, &flows);
+        assert!(rbs_of(&grants, 0) >= 10, "GBR flow must get its credit first");
+        assert_eq!(total(&grants), 50);
+    }
+
+    #[test]
+    fn gbr_flow_can_exceed_credit_via_phase2() {
+        let mut s = TwoPhaseGbr::default();
+        // Only the video flow is backlogged; it should absorb all 50 RBs
+        // even though its credit covers just 10.
+        let flows = vec![flow(0, FlowClass::Video, 1_000_000, 128.0, 160)];
+        let grants = s.allocate(50, &flows);
+        assert_eq!(rbs_of(&grants, 0), 50);
+    }
+
+    #[test]
+    fn strict_partition_wastes_slack() {
+        let mut s = StrictGbrPartition::default();
+        let flows = vec![flow(0, FlowClass::Video, 1_000_000, 128.0, 160)];
+        let grants = s.allocate(50, &flows);
+        // Credit = 160 bytes = 10 RBs; strict partitioning stops there.
+        assert_eq!(rbs_of(&grants, 0), 10);
+    }
+
+    #[test]
+    fn strict_partition_reserves_for_idle_sliced_flows() {
+        let mut s = StrictGbrPartition::default();
+        // The sliced video flow has credit but *no backlog* (player buffer
+        // full); a greedy data flow wants everything. The slice's 10 RBs
+        // are reserved anyway and go to waste — AVIS's inefficiency.
+        let flows = vec![
+            flow(0, FlowClass::Video, 0, 128.0, 160),
+            flow(1, FlowClass::Data, 1_000_000, 128.0, 0),
+        ];
+        let grants = s.allocate(50, &flows);
+        assert_eq!(rbs_of(&grants, 1), 40, "data must not reclaim the slice");
+    }
+
+    #[test]
+    fn credit_capped_by_backlog() {
+        let mut s = TwoPhaseGbr::default();
+        // Credit says 160 bytes but only 16 bytes are queued.
+        let flows = vec![
+            flow(0, FlowClass::Video, 16, 128.0, 160),
+            flow(1, FlowClass::Data, 1_000_000, 128.0, 0),
+        ];
+        let grants = s.allocate(50, &flows);
+        assert_eq!(rbs_of(&grants, 0), 1);
+        assert_eq!(rbs_of(&grants, 1), 49);
+    }
+
+    #[test]
+    fn budget_exhaustion_in_phase1() {
+        let mut s = TwoPhaseGbr::default();
+        // Two GBR flows each owed 100 RBs worth; only 50 available.
+        let flows = vec![
+            flow(0, FlowClass::Video, 1_000_000, 128.0, 1600),
+            flow(1, FlowClass::Video, 1_000_000, 128.0, 1600),
+        ];
+        let grants = s.allocate(50, &flows);
+        assert_eq!(total(&grants), 50);
+        // Flow-id order: flow 0 is served first.
+        assert_eq!(rbs_of(&grants, 0), 50);
+        assert_eq!(rbs_of(&grants, 1), 0);
+    }
+
+    #[test]
+    fn data_flows_share_leftover() {
+        let mut s = TwoPhaseGbr::default();
+        let flows = vec![
+            flow(0, FlowClass::Video, 160, 128.0, 160),
+            flow(1, FlowClass::Data, 1_000_000, 128.0, 0),
+            flow(2, FlowClass::Data, 1_000_000, 128.0, 0),
+        ];
+        let mut tot = [0u64; 3];
+        for _ in 0..2000 {
+            for g in s.allocate(50, &flows) {
+                tot[g.flow.index()] += u64::from(g.rbs);
+            }
+        }
+        // Video gets its 10 RBs/TTI; data flows split the remaining 40.
+        let d1 = tot[1] as f64;
+        let d2 = tot[2] as f64;
+        assert!((d1 / d2 - 1.0).abs() < 0.1, "data split {d1}/{d2} not even");
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-flow MAC statistics: the RB & Rate Trace and Statistics Reporter
+//! modules of the paper's Figure 3.
+//!
+//! The FLARE optimization needs, for each flow `u` and each bitrate
+//! assignment interval `i`, the resource blocks assigned `n_u^i` and bytes
+//! transmitted `b_u^i`. [`IntervalReport`] is exactly that periodic report,
+//! produced by [`crate::ENodeB::take_report`].
+
+use flare_sim::units::{ByteCount, Rate};
+use flare_sim::{Time, TimeDelta};
+
+use crate::flows::{FlowClass, FlowId};
+use crate::tbs::Itbs;
+
+/// One flow's MAC counters over a reporting interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowIntervalStats {
+    /// The flow these counters describe.
+    pub flow: FlowId,
+    /// The flow's traffic class.
+    pub class: FlowClass,
+    /// Resource blocks assigned during the interval (`n_u`).
+    pub rbs: u64,
+    /// Bytes transmitted during the interval (`b_u`).
+    pub bytes: ByteCount,
+    /// The flow's iTbs operating point at the end of the interval.
+    pub itbs: Itbs,
+}
+
+impl FlowIntervalStats {
+    /// Average throughput over `interval`.
+    pub fn throughput(&self, interval: TimeDelta) -> Rate {
+        self.bytes.rate_over(interval)
+    }
+
+    /// Realized bytes per RB — the per-flow link efficiency FLARE's capacity
+    /// constraint divides by (`b_u / n_u`).
+    pub fn bytes_per_rb(&self) -> Option<f64> {
+        if self.rbs == 0 {
+            None
+        } else {
+            Some(self.bytes.as_u64() as f64 / self.rbs as f64)
+        }
+    }
+}
+
+/// A periodic per-cell statistics report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalReport {
+    /// Start of the reporting interval (inclusive).
+    pub start: Time,
+    /// End of the reporting interval (exclusive).
+    pub end: Time,
+    /// Per-flow counters, ordered by flow id.
+    pub flows: Vec<FlowIntervalStats>,
+}
+
+impl IntervalReport {
+    /// The interval length.
+    pub fn duration(&self) -> TimeDelta {
+        self.end.since(self.start)
+    }
+
+    /// Looks up one flow's counters.
+    pub fn flow(&self, id: FlowId) -> Option<&FlowIntervalStats> {
+        self.flows.iter().find(|f| f.flow == id)
+    }
+
+    /// Total RBs assigned over the interval, across all flows.
+    pub fn total_rbs(&self) -> u64 {
+        self.flows.iter().map(|f| f.rbs).sum()
+    }
+
+    /// Total bytes transmitted over the interval, across all flows.
+    pub fn total_bytes(&self) -> ByteCount {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(flow: u32, rbs: u64, bytes: u64) -> FlowIntervalStats {
+        FlowIntervalStats {
+            flow: FlowId(flow),
+            class: FlowClass::Video,
+            rbs,
+            bytes: ByteCount::new(bytes),
+            itbs: Itbs::new(5),
+        }
+    }
+
+    #[test]
+    fn throughput_over_interval() {
+        let s = stats(0, 100, 125_000);
+        let tput = s.throughput(TimeDelta::from_secs(1));
+        assert_eq!(tput, Rate::from_mbps(1.0));
+    }
+
+    #[test]
+    fn bytes_per_rb_handles_idle_flows() {
+        assert_eq!(stats(0, 0, 0).bytes_per_rb(), None);
+        assert_eq!(stats(0, 10, 250).bytes_per_rb(), Some(25.0));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = IntervalReport {
+            start: Time::ZERO,
+            end: Time::from_secs(10),
+            flows: vec![stats(0, 100, 1000), stats(1, 50, 700)],
+        };
+        assert_eq!(report.duration(), TimeDelta::from_secs(10));
+        assert_eq!(report.total_rbs(), 150);
+        assert_eq!(report.total_bytes(), ByteCount::new(1700));
+        assert_eq!(report.flow(FlowId(1)).unwrap().rbs, 50);
+        assert!(report.flow(FlowId(9)).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Jain's fairness index.
+
+/// Computes Jain's fairness index `(Σx)² / (n · Σx²)`.
+///
+/// The index is 1 when all values are equal and approaches `1/n` under
+/// maximal unfairness. An empty sample or an all-zero sample returns 1
+/// (vacuously fair), matching how the paper reports fairness over realized
+/// bitrates.
+///
+/// # Example
+///
+/// ```
+/// use flare_metrics::jain_index;
+///
+/// assert_eq!(jain_index(&[1.0, 1.0, 1.0]), 1.0);
+/// let skewed = jain_index(&[10.0, 0.0, 0.0]);
+/// assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if any value is negative or non-finite.
+pub fn jain_index(values: &[f64]) -> f64 {
+    debug_assert!(
+        values.iter().all(|v| v.is_finite() && *v >= 0.0),
+        "Jain's index requires non-negative finite values"
+    );
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_allocation_is_perfectly_fair() {
+        assert_eq!(jain_index(&[5.0; 8]), 1.0);
+        assert_eq!(jain_index(&[0.001; 3]), 1.0);
+    }
+
+    #[test]
+    fn single_user_is_fair() {
+        assert_eq!(jain_index(&[42.0]), 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_vacuously_fair() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn starving_one_user_lowers_the_index() {
+        let fair = jain_index(&[1.0, 1.0, 1.0, 1.0]);
+        let unfair = jain_index(&[2.0, 1.0, 1.0, 0.0]);
+        assert!(unfair < fair);
+    }
+
+    #[test]
+    fn known_value() {
+        // (1+2+3)² / (3 · (1+4+9)) = 36/42.
+        let idx = jain_index(&[1.0, 2.0, 3.0]);
+        assert!((idx - 36.0 / 42.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_between_inv_n_and_one(values in prop::collection::vec(0.0f64..1e6, 1..50)) {
+            let idx = jain_index(&values);
+            let n = values.len() as f64;
+            prop_assert!(idx <= 1.0 + 1e-12);
+            prop_assert!(idx >= 1.0 / n - 1e-12);
+        }
+
+        #[test]
+        fn scale_invariant(values in prop::collection::vec(0.1f64..1e3, 1..20), k in 0.1f64..100.0) {
+            let scaled: Vec<f64> = values.iter().map(|v| v * k).collect();
+            prop_assert!((jain_index(&values) - jain_index(&scaled)).abs() < 1e-9);
+        }
+    }
+}

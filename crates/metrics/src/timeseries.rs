@@ -1,0 +1,174 @@
+//! `(time, value)` traces for the Figure 4/5-style time-series plots.
+
+use serde::Serialize;
+
+/// A time series with monotone timestamps (seconds).
+///
+/// # Example
+///
+/// ```
+/// use flare_metrics::TimeSeries;
+///
+/// let mut ts = TimeSeries::new("video rate (kbps)");
+/// ts.push(0.0, 200.0);
+/// ts.push(10.0, 450.0);
+/// ts.push(20.0, 790.0);
+/// assert_eq!(ts.mean(), 480.0);
+/// assert_eq!(ts.value_at(12.0), Some(450.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TimeSeries {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a label for table/plot output.
+    pub fn new(label: impl Into<String>) -> Self {
+        TimeSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous sample or either value is not
+    /// finite.
+    pub fn push(&mut self, t: f64, value: f64) {
+        assert!(t.is_finite() && value.is_finite(), "samples must be finite");
+        if let Some(&(last_t, _)) = self.points.last() {
+            assert!(t >= last_t, "timestamps must be non-decreasing");
+        }
+        self.points.push((t, value));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values (unweighted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.points.is_empty(), "mean of an empty series");
+        self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// The last value at or before time `t` (step interpolation), `None`
+    /// before the first sample.
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t);
+        idx.checked_sub(1).map(|i| self.points[i].1)
+    }
+
+    /// Resamples onto a fixed `step` grid from the first to the last
+    /// timestamp (step interpolation) — handy for aligning series before
+    /// printing them side by side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty or `step` is not positive.
+    pub fn resample(&self, step: f64) -> TimeSeries {
+        assert!(!self.points.is_empty(), "cannot resample an empty series");
+        assert!(step > 0.0, "step must be positive");
+        let mut out = TimeSeries::new(self.label.clone());
+        let start = self.points[0].0;
+        let end = self.points.last().expect("non-empty").0;
+        let mut t = start;
+        while t <= end + 1e-9 {
+            out.push(t, self.value_at(t).expect("t >= start"));
+            t += step;
+        }
+        out
+    }
+
+    /// Counts transitions to a different value — the "number of bitrate
+    /// changes" metric when the series carries per-segment rates.
+    pub fn change_count(&self) -> usize {
+        self.points
+            .windows(2)
+            .filter(|w| w[0].1 != w[1].1)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[(f64, f64)]) -> TimeSeries {
+        let mut ts = TimeSeries::new("test");
+        for &(t, v) in vals {
+            ts.push(t, v);
+        }
+        ts
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let ts = series(&[(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(ts.len(), 2);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.label(), "test");
+        assert_eq!(ts.points(), &[(0.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let ts = series(&[(10.0, 1.0), (20.0, 2.0)]);
+        assert_eq!(ts.value_at(5.0), None);
+        assert_eq!(ts.value_at(10.0), Some(1.0));
+        assert_eq!(ts.value_at(19.9), Some(1.0));
+        assert_eq!(ts.value_at(20.0), Some(2.0));
+        assert_eq!(ts.value_at(100.0), Some(2.0));
+    }
+
+    #[test]
+    fn resample_grid() {
+        let ts = series(&[(0.0, 1.0), (10.0, 2.0), (30.0, 3.0)]);
+        let r = ts.resample(10.0);
+        assert_eq!(r.points(), &[(0.0, 1.0), (10.0, 2.0), (20.0, 2.0), (30.0, 3.0)]);
+    }
+
+    #[test]
+    fn change_counting() {
+        let ts = series(&[(0.0, 1.0), (1.0, 1.0), (2.0, 2.0), (3.0, 1.0), (4.0, 1.0)]);
+        assert_eq!(ts.change_count(), 2);
+        assert_eq!(series(&[(0.0, 5.0)]).change_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_push_panics() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(5.0, 1.0);
+        ts.push(4.0, 1.0);
+    }
+
+    #[test]
+    fn equal_timestamps_are_allowed() {
+        let ts = series(&[(1.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(ts.value_at(1.0), Some(2.0));
+    }
+}

@@ -1,0 +1,204 @@
+//! The LTE femtocell testbed scenarios (Section IV-A).
+//!
+//! Three video UEs and one Iperf data UE share a 10 MHz cell (50 RB/TTI).
+//! The video is encoded at {200, 310, 450, 790, 1100, 1320, 2280, 2750}
+//! kbps. Two channel profiles are studied:
+//!
+//! * **static** — every UE pinned at iTbs 2;
+//! * **dynamic** — iTbs swept 1 → 12 → 1 over four minutes, each UE phase-
+//!   shifted.
+//!
+//! The runs last ten minutes. The GOOGLE player requests the next segment
+//! when its buffer drops below 15 s in the static scenario and 40 s in the
+//! dynamic one (the paper's modification to curb its rebuffering).
+//!
+//! *Substitution note:* the femtocell paper does not state its segment
+//! length; we use 2-second segments and a 2-second BAI, which reproduces
+//! the ~100 s conservative ramp of Figure 4c under the default δ = 4.
+
+use flare_core::FlareConfig;
+use flare_has::{BitrateLadder, PlayerConfig};
+use flare_sim::TimeDelta;
+
+use crate::config::{ChannelKind, SchedulerKind, SchemeKind, SimConfig};
+use crate::runner::{CellSim, RunResult};
+
+/// Testbed segment length (and BAI).
+pub fn segment() -> TimeDelta {
+    TimeDelta::from_secs(2)
+}
+
+/// Player timing for a scheme in the testbed.
+///
+/// `google_threshold_secs` is 15 in the static scenario and 40 in the
+/// dynamic one; the other players keep the 30 s default.
+fn player_config(scheme: &SchemeKind, google_threshold_secs: u64) -> PlayerConfig {
+    let request_threshold = match scheme {
+        SchemeKind::Google => TimeDelta::from_secs(google_threshold_secs),
+        _ => TimeDelta::from_secs(30),
+    };
+    PlayerConfig {
+        startup_threshold: segment(),
+        resume_threshold: segment(),
+        request_threshold,
+    }
+}
+
+/// The FLARE configuration used on the femtocell: Table IV parameters with
+/// the testbed's 2-second BAI.
+pub fn flare_config() -> FlareConfig {
+    FlareConfig::default().with_bai(segment())
+}
+
+/// Builds the static-scenario configuration (iTbs pinned at 2) for a
+/// scheme.
+pub fn static_config(scheme: SchemeKind, seed: u64, duration: TimeDelta) -> SimConfig {
+    let player = player_config(&scheme, 15);
+    SimConfig::builder()
+        .seed(seed)
+        .duration(duration)
+        .bai(segment())
+        .segment(segment())
+        .ladder(BitrateLadder::testbed())
+        .scheduler(SchedulerKind::TwoPhaseGbr)
+        .player(player)
+        .videos(3)
+        .data_flows(1)
+        .channel(ChannelKind::Static { itbs: 2 })
+        .scheme(scheme)
+        .build()
+}
+
+/// Builds the dynamic-scenario configuration (iTbs 1 → 12 → 1 over four
+/// minutes, per-UE offsets) for a scheme.
+pub fn dynamic_config(scheme: SchemeKind, seed: u64, duration: TimeDelta) -> SimConfig {
+    let player = player_config(&scheme, 40);
+    SimConfig::builder()
+        .seed(seed)
+        .duration(duration)
+        .bai(segment())
+        .segment(segment())
+        .ladder(BitrateLadder::testbed())
+        .scheduler(SchedulerKind::TwoPhaseGbr)
+        .player(player)
+        .videos(3)
+        .data_flows(1)
+        .channel(ChannelKind::Triangle {
+            min: 1,
+            max: 12,
+            period: TimeDelta::from_secs(240),
+        })
+        .scheme(scheme)
+        .build()
+}
+
+/// Runs the full 10-minute static scenario for a scheme.
+pub fn run_static(scheme: SchemeKind, seed: u64) -> RunResult {
+    CellSim::new(static_config(scheme, seed, TimeDelta::from_secs(600))).run()
+}
+
+/// Runs the full 10-minute dynamic scenario for a scheme.
+pub fn run_dynamic(scheme: SchemeKind, seed: u64) -> RunResult {
+    CellSim::new(dynamic_config(scheme, seed, TimeDelta::from_secs(600))).run()
+}
+
+/// The three schemes Table I/II compare, in paper order.
+pub fn schemes() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::Festive,
+        SchemeKind::Google,
+        SchemeKind::Flare(flare_config()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short(scheme: SchemeKind, dynamic: bool) -> RunResult {
+        let cfg = if dynamic {
+            dynamic_config(scheme, 11, TimeDelta::from_secs(180))
+        } else {
+            static_config(scheme, 11, TimeDelta::from_secs(180))
+        };
+        CellSim::new(cfg).run()
+    }
+
+    #[test]
+    fn static_flare_converges_to_one_level() {
+        let r = short(SchemeKind::Flare(flare_config()), false);
+        // After the conservative ramp, FLARE should sit on a single level:
+        // very few changes in the steady half of the run.
+        for v in &r.videos {
+            let late: Vec<f64> = v
+                .rate_series
+                .points()
+                .iter()
+                .filter(|(t, _)| *t > 90.0)
+                .map(|(_, rate)| *rate)
+                .collect();
+            let distinct: std::collections::HashSet<u64> =
+                late.iter().map(|r| *r as u64).collect();
+            assert!(
+                distinct.len() <= 2,
+                "FLARE should be near-constant late in the run: {distinct:?}"
+            );
+        }
+        assert_eq!(r.average_underflow_secs(), 0.0, "FLARE must not rebuffer");
+    }
+
+    #[test]
+    fn static_festive_is_less_stable_than_flare() {
+        let festive = short(SchemeKind::Festive, false);
+        let flare = short(SchemeKind::Flare(flare_config()), false);
+        assert!(
+            festive.average_bitrate_changes() >= flare.average_bitrate_changes(),
+            "festive {} vs flare {}",
+            festive.average_bitrate_changes(),
+            flare.average_bitrate_changes()
+        );
+    }
+
+    #[test]
+    fn static_google_is_most_aggressive() {
+        let google = short(SchemeKind::Google, false);
+        let festive = short(SchemeKind::Festive, false);
+        assert!(
+            google.average_video_rate_kbps() > festive.average_video_rate_kbps(),
+            "google {} vs festive {}",
+            google.average_video_rate_kbps(),
+            festive.average_video_rate_kbps()
+        );
+        // The flip side: GOOGLE leaves the least throughput for data.
+        assert!(
+            google.average_data_throughput_kbps() < festive.average_data_throughput_kbps()
+        );
+    }
+
+    #[test]
+    fn dynamic_scenario_tracks_the_channel() {
+        let r = short(SchemeKind::Flare(flare_config()), true);
+        // Under the triangle sweep the selected rates must actually vary.
+        let v = &r.videos[0];
+        let distinct: std::collections::HashSet<u64> = v
+            .rate_series
+            .points()
+            .iter()
+            .map(|(_, rate)| *rate as u64)
+            .collect();
+        assert!(distinct.len() >= 2, "dynamic FLARE should adapt: {distinct:?}");
+    }
+
+    #[test]
+    fn fairness_is_high_across_schemes() {
+        for scheme in schemes() {
+            let r = short(scheme, false);
+            assert!(
+                r.jain_of_video_rates() > 0.85,
+                "{} unfair: {}",
+                r.scheme,
+                r.jain_of_video_rates()
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete-event simulation kernel for the FLARE reproduction.
+//!
+//! This crate provides the minimal, deterministic building blocks shared by
+//! every simulator in the workspace:
+//!
+//! * [`Time`] / [`TimeDelta`] — millisecond-resolution simulation time. One
+//!   LTE transmission time interval (TTI) is exactly one millisecond, so the
+//!   kernel's native resolution matches the MAC layer's.
+//! * [`EventQueue`] — a stable priority queue of timestamped events with
+//!   deterministic FIFO tie-breaking.
+//! * [`rng`] — seed-derivation utilities so that every simulated entity owns
+//!   an independent, reproducible random stream derived from one master seed.
+//!
+//! # Example
+//!
+//! ```
+//! use flare_sim::{EventQueue, Time};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Time::from_secs(2), "later");
+//! q.push(Time::from_millis(10), "sooner");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(t, Time::from_millis(10));
+//! assert_eq!(ev, "sooner");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+pub mod rng;
+mod time;
+pub mod units;
+
+pub use events::EventQueue;
+pub use time::{Time, TimeDelta, TTI};

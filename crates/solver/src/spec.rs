@@ -1,0 +1,409 @@
+//! Problem specification: flows, parameters, and validation.
+
+use std::fmt;
+
+use crate::utility::{data_utility, video_utility};
+
+/// One video flow's contribution to the assignment problem.
+///
+/// All rates are plain `f64` bits/second — the solver is deliberately
+/// decoupled from the simulation crates so it can be tested and benchmarked
+/// in isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    ladder: Vec<f64>,
+    beta: f64,
+    theta: f64,
+    weight: f64,
+    max_level: usize,
+    min_level: usize,
+}
+
+impl FlowSpec {
+    /// Creates a flow spec.
+    ///
+    /// * `ladder` — ascending positive bitrates (bits/second).
+    /// * `beta`, `theta` — utility parameters (see
+    ///   [`crate::utility::video_utility`]).
+    /// * `weight` — `w_u = B·n_u / bits_u`: RBs this flow needs per unit of
+    ///   assigned bitrate, extrapolated from the previous BAI.
+    /// * `max_level` — the stability cap `L_u^{prev} + 1`, clamped to the
+    ///   ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty/unsorted/non-positive, or any parameter
+    /// is non-finite or negative.
+    pub fn new(ladder: Vec<f64>, beta: f64, theta: f64, weight: f64, max_level: usize) -> Self {
+        assert!(!ladder.is_empty(), "ladder must be non-empty");
+        assert!(ladder[0] > 0.0, "bitrates must be positive");
+        assert!(
+            ladder.windows(2).all(|w| w[0] < w[1]),
+            "ladder must be strictly ascending"
+        );
+        for v in [beta, theta, weight] {
+            assert!(v.is_finite() && v >= 0.0, "parameters must be finite and non-negative");
+        }
+        let max_level = max_level.min(ladder.len() - 1);
+        FlowSpec {
+            ladder,
+            beta,
+            theta,
+            weight,
+            max_level,
+            min_level: 0,
+        }
+    }
+
+    /// Restricts the flow to levels at or above `min_level` (a client-side
+    /// constraint, e.g. a floor the user configured). Clamped to
+    /// `max_level`.
+    pub fn with_min_level(mut self, min_level: usize) -> Self {
+        self.min_level = min_level.min(self.max_level);
+        self
+    }
+
+    /// The ladder in bits/second, ascending.
+    pub fn ladder(&self) -> &[f64] {
+        &self.ladder
+    }
+
+    /// Utility weight `β_u`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Screen-size parameter `θ_u` (bits/second).
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// RBs needed per unit bitrate (`w_u`).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Highest permitted ladder index (stability cap and client caps).
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Lowest permitted ladder index.
+    pub fn min_level(&self) -> usize {
+        self.min_level
+    }
+
+    /// The continuous box `[lo, hi]` for the relaxation.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.ladder[self.min_level], self.ladder[self.max_level])
+    }
+
+    /// Video utility at `rate`.
+    pub fn utility(&self, rate: f64) -> f64 {
+        video_utility(self.beta, self.theta, rate)
+    }
+}
+
+/// An invalid [`ProblemSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The RB budget is not positive.
+    NonPositiveBudget,
+    /// `alpha` is negative or not finite.
+    InvalidAlpha,
+    /// The video-RB fraction cap is outside `(0, 1]`.
+    InvalidRCap,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NonPositiveBudget => write!(f, "total RB budget must be positive"),
+            SpecError::InvalidAlpha => write!(f, "alpha must be finite and non-negative"),
+            SpecError::InvalidRCap => write!(f, "r_cap must lie in (0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The full per-BAI assignment problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemSpec {
+    flows: Vec<FlowSpec>,
+    n_data: usize,
+    alpha: f64,
+    total_rbs: f64,
+    r_cap: f64,
+}
+
+impl ProblemSpec {
+    /// Starts building a spec.
+    pub fn builder() -> ProblemSpecBuilder {
+        ProblemSpecBuilder::default()
+    }
+
+    /// The video flows.
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+
+    /// Number of data flows (`n`).
+    pub fn n_data(&self) -> usize {
+        self.n_data
+    }
+
+    /// Data-vs-video priority knob (`α`).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Total RBs available over the BAI (`N`).
+    pub fn total_rbs(&self) -> f64 {
+        self.total_rbs
+    }
+
+    /// Hard ceiling on the video fraction `r` (1.0 means video may take the
+    /// whole cell when no data flows exist).
+    pub fn r_cap(&self) -> f64 {
+        self.r_cap
+    }
+
+    /// The video fraction `r = Σ w_u R_u / N` implied by `rates`.
+    pub fn video_fraction(&self, rates: &[f64]) -> f64 {
+        let used: f64 = self
+            .flows
+            .iter()
+            .zip(rates)
+            .map(|(f, &r)| f.weight() * r)
+            .sum();
+        used / self.total_rbs
+    }
+
+    /// The objective (3) at the given rates, taking `r` at its minimum
+    /// feasible value. Returns `-inf` for infeasible rate vectors
+    /// (`r > r_cap`).
+    pub fn objective(&self, rates: &[f64]) -> f64 {
+        assert_eq!(rates.len(), self.flows.len(), "one rate per flow");
+        let r = self.video_fraction(rates);
+        if r > self.r_cap + 1e-12 {
+            return f64::NEG_INFINITY;
+        }
+        let video: f64 = self
+            .flows
+            .iter()
+            .zip(rates)
+            .map(|(f, &rate)| f.utility(rate))
+            .sum();
+        video + data_utility(self.n_data, self.alpha, r.min(1.0))
+    }
+
+    /// `true` when the all-minimum assignment already violates the cap — the
+    /// cell is overloaded and the solvers will return the floor assignment.
+    pub fn is_overloaded(&self) -> bool {
+        let floor: Vec<f64> = self.flows.iter().map(|f| f.bounds().0).collect();
+        self.video_fraction(&floor) > self.r_cap
+    }
+}
+
+/// Builder for [`ProblemSpec`].
+#[derive(Debug, Clone)]
+pub struct ProblemSpecBuilder {
+    flows: Vec<FlowSpec>,
+    n_data: usize,
+    alpha: f64,
+    total_rbs: f64,
+    r_cap: Option<f64>,
+}
+
+impl Default for ProblemSpecBuilder {
+    fn default() -> Self {
+        ProblemSpecBuilder {
+            flows: Vec::new(),
+            n_data: 0,
+            alpha: 1.0,
+            total_rbs: 0.0,
+            r_cap: None,
+        }
+    }
+}
+
+impl ProblemSpecBuilder {
+    /// Adds one video flow.
+    pub fn flow(mut self, flow: FlowSpec) -> Self {
+        self.flows.push(flow);
+        self
+    }
+
+    /// Adds many video flows.
+    pub fn flows(mut self, flows: impl IntoIterator<Item = FlowSpec>) -> Self {
+        self.flows.extend(flows);
+        self
+    }
+
+    /// Sets the data-flow count `n` and priority `α`.
+    pub fn data_flows(mut self, n: usize, alpha: f64) -> Self {
+        self.n_data = n;
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the RB budget `N` for the BAI.
+    pub fn total_rbs(mut self, n: f64) -> Self {
+        self.total_rbs = n;
+        self
+    }
+
+    /// Overrides the ceiling on the video fraction `r`.
+    pub fn r_cap(mut self, cap: f64) -> Self {
+        self.r_cap = Some(cap);
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] when the budget, `α`, or `r_cap` is invalid.
+    pub fn build(self) -> Result<ProblemSpec, SpecError> {
+        // NaN budgets must fail too, hence the inverted comparison.
+        if self.total_rbs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(SpecError::NonPositiveBudget);
+        }
+        if !self.alpha.is_finite() || self.alpha < 0.0 {
+            return Err(SpecError::InvalidAlpha);
+        }
+        // With data flows present, log(1-r) forbids r = 1 anyway; keep a
+        // hair of margin for numerical safety. Without them video may take
+        // the entire cell.
+        let default_cap = if self.n_data > 0 { 0.999 } else { 1.0 };
+        let r_cap = self.r_cap.unwrap_or(default_cap);
+        if !(r_cap > 0.0 && r_cap <= 1.0) {
+            return Err(SpecError::InvalidRCap);
+        }
+        Ok(ProblemSpec {
+            flows: self.flows,
+            n_data: self.n_data,
+            alpha: self.alpha,
+            total_rbs: self.total_rbs,
+            r_cap,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowSpec {
+        FlowSpec::new(vec![100e3, 250e3, 500e3, 1000e3], 10.0, 200e3, 0.2, 3)
+    }
+
+    #[test]
+    fn flow_spec_accessors() {
+        let f = flow();
+        assert_eq!(f.ladder().len(), 4);
+        assert_eq!(f.bounds(), (100e3, 1000e3));
+        assert_eq!(f.max_level(), 3);
+        assert_eq!(f.min_level(), 0);
+        assert!((f.utility(200e3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_level_clamps_to_ladder() {
+        let f = FlowSpec::new(vec![100e3, 250e3], 10.0, 200e3, 0.2, 99);
+        assert_eq!(f.max_level(), 1);
+    }
+
+    #[test]
+    fn min_level_clamps_to_max() {
+        let f = flow().with_min_level(99);
+        assert_eq!(f.min_level(), f.max_level());
+        let g = flow().with_min_level(1);
+        assert_eq!(g.bounds(), (250e3, 1000e3));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_ladder_panics() {
+        let _ = FlowSpec::new(vec![500e3, 100e3], 10.0, 200e3, 0.2, 1);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            ProblemSpec::builder().build().unwrap_err(),
+            SpecError::NonPositiveBudget
+        );
+        assert_eq!(
+            ProblemSpec::builder()
+                .total_rbs(100.0)
+                .data_flows(1, -1.0)
+                .build()
+                .unwrap_err(),
+            SpecError::InvalidAlpha
+        );
+        assert_eq!(
+            ProblemSpec::builder()
+                .total_rbs(100.0)
+                .r_cap(0.0)
+                .build()
+                .unwrap_err(),
+            SpecError::InvalidRCap
+        );
+        assert!(ProblemSpec::builder().total_rbs(100.0).build().is_ok());
+    }
+
+    #[test]
+    fn default_r_cap_depends_on_data_flows() {
+        let with_data = ProblemSpec::builder()
+            .total_rbs(100.0)
+            .data_flows(2, 1.0)
+            .build()
+            .unwrap();
+        assert!(with_data.r_cap() < 1.0);
+        let without = ProblemSpec::builder().total_rbs(100.0).build().unwrap();
+        assert_eq!(without.r_cap(), 1.0);
+    }
+
+    #[test]
+    fn video_fraction_and_objective() {
+        let spec = ProblemSpec::builder()
+            .total_rbs(1000.0)
+            .data_flows(2, 1.0)
+            .flow(flow())
+            .build()
+            .unwrap();
+        // weight 0.2 at 1 Mbps = 200,000 RBs?? No: weight is per bps, so
+        // 0.2e-3 would be realistic; use the numbers as plain math here.
+        let r = spec.video_fraction(&[500e3]);
+        assert_eq!(r, 0.2 * 500e3 / 1000.0);
+        assert_eq!(spec.objective(&[500e3]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn objective_combines_video_and_data_terms() {
+        let f = FlowSpec::new(vec![100e3, 500e3], 10.0, 200e3, 1e-3, 1);
+        let spec = ProblemSpec::builder()
+            .total_rbs(1000.0)
+            .data_flows(1, 1.0)
+            .flow(f)
+            .build()
+            .unwrap();
+        // r = 1e-3 * 500e3 / 1000 = 0.5.
+        let got = spec.objective(&[500e3]);
+        let want = 10.0 * (1.0 - 200e3 / 500e3) + (0.5f64).ln();
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_detection() {
+        let f = FlowSpec::new(vec![100e3], 10.0, 200e3, 1.0, 0);
+        let spec = ProblemSpec::builder()
+            .total_rbs(1000.0)
+            .flow(f)
+            .build()
+            .unwrap();
+        assert!(spec.is_overloaded());
+    }
+}

@@ -1,0 +1,92 @@
+//! The utility model of equation (1)/(2).
+
+/// Video utility `β (1 − θ / R)` for one flow at bitrate `R` (bits/second).
+///
+/// `β` weighs how much this client values video; `θ` encodes the screen
+/// size — a larger screen needs a higher bitrate before utility approaches
+/// its ceiling of `β`. The paper takes `β = 10`, `θ = 0.2 Mbps` from
+/// De Vleeschauwer et al.
+///
+/// # Example
+///
+/// ```
+/// use flare_solver::utility::video_utility;
+///
+/// // At R = θ the utility crosses zero; it saturates towards β.
+/// assert_eq!(video_utility(10.0, 200e3, 200e3), 0.0);
+/// assert!(video_utility(10.0, 200e3, 3_000e3) > 9.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if `rate` is not positive.
+pub fn video_utility(beta: f64, theta: f64, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0, "video utility needs a positive rate");
+    beta * (1.0 - theta / rate)
+}
+
+/// Marginal video utility `dU/dR = β θ / R²`.
+pub fn video_marginal(beta: f64, theta: f64, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0, "marginal utility needs a positive rate");
+    beta * theta / (rate * rate)
+}
+
+/// Aggregate data utility `n · α · log(1 − r)` after Lemma 1's reduction,
+/// where `r` is the fraction of RBs given to video and `n` the number of
+/// data flows.
+///
+/// Returns zero when there are no data flows (no penalty term) and
+/// `-inf` as `r → 1` with data flows present.
+pub fn data_utility(n_data: usize, alpha: f64, r: f64) -> f64 {
+    if n_data == 0 {
+        return 0.0;
+    }
+    debug_assert!((0.0..=1.0).contains(&r), "r must be a fraction");
+    n_data as f64 * alpha * (1.0 - r).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_utility_shape() {
+        let beta = 10.0;
+        let theta = 200e3;
+        assert!(video_utility(beta, theta, 100e3) < 0.0);
+        assert_eq!(video_utility(beta, theta, theta), 0.0);
+        let u1 = video_utility(beta, theta, 1_000e3);
+        let u2 = video_utility(beta, theta, 2_000e3);
+        assert!(u2 > u1, "utility must increase in rate");
+        assert!(u2 < beta, "utility is capped at beta");
+    }
+
+    #[test]
+    fn diminishing_returns() {
+        let beta = 10.0;
+        let theta = 200e3;
+        let gain_low = video_utility(beta, theta, 400e3) - video_utility(beta, theta, 200e3);
+        let gain_high = video_utility(beta, theta, 2_200e3) - video_utility(beta, theta, 2_000e3);
+        assert!(gain_low > gain_high);
+    }
+
+    #[test]
+    fn marginal_matches_finite_difference() {
+        let (beta, theta, r) = (10.0, 200e3, 900e3);
+        let h = 1.0;
+        let fd = (video_utility(beta, theta, r + h) - video_utility(beta, theta, r - h)) / (2.0 * h);
+        let an = video_marginal(beta, theta, r);
+        assert!((fd - an).abs() / an < 1e-6);
+    }
+
+    #[test]
+    fn data_utility_shape() {
+        assert_eq!(data_utility(0, 1.0, 0.9), 0.0);
+        assert_eq!(data_utility(3, 1.0, 0.0), 0.0);
+        let u1 = data_utility(3, 1.0, 0.5);
+        let u2 = data_utility(3, 1.0, 0.8);
+        assert!(u2 < u1, "more video RBs must hurt data utility");
+        assert!(data_utility(3, 2.0, 0.5) < u1, "alpha scales the penalty");
+        assert_eq!(data_utility(1, 1.0, 1.0), f64::NEG_INFINITY);
+    }
+}

