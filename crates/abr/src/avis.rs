@@ -78,8 +78,14 @@ impl AvisAllocator {
     ///
     /// Panics if the config's fractions are out of range.
     pub fn new(config: AvisConfig) -> Self {
-        assert!((0.0..=1.0).contains(&config.partition_cap), "partition cap must be a fraction");
-        assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&config.partition_cap),
+            "partition cap must be a fraction"
+        );
+        assert!(
+            config.alpha > 0.0 && config.alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
         assert!(config.probe_gain >= 1.0, "probe gain must be >= 1");
         assert!(config.mbr_headroom >= 1.0, "MBR headroom must be >= 1");
         AvisAllocator {
@@ -250,9 +256,7 @@ mod tests {
         let la = LinkAdaptation::default();
         // Eight flows each claiming 5 Mbps on a poor channel (64 bits/RB):
         // the demands cannot all fit in 80% of 50k RB/s.
-        let flows: Vec<_> = (0..8)
-            .map(|i| video(i, 600_000, 4_800_000, 2))
-            .collect();
+        let flows: Vec<_> = (0..8).map(|i| video(i, 600_000, 4_800_000, 2)).collect();
         let mut assignments = Vec::new();
         for _ in 0..30 {
             assignments = avis.assign(&report(flows.clone()), &la, 50);
@@ -313,7 +317,10 @@ mod tests {
             avis.assign(&report(vec![video(0, 100, 1_000, 10)]), &la, 50);
         }
         let after = avis.demand(flow_id(0)).unwrap();
-        assert!(after < before, "idle demand must decay: {after:?} vs {before:?}");
+        assert!(
+            after < before,
+            "idle demand must decay: {after:?} vs {before:?}"
+        );
     }
 
     #[test]

@@ -62,8 +62,7 @@ impl RateAdapter for BufferBased {
             return ctx.ladder.lowest();
         }
         let above = buffered - self.config.reservoir;
-        let frac =
-            (above.as_secs_f64() / self.config.cushion.as_secs_f64()).clamp(0.0, 1.0);
+        let frac = (above.as_secs_f64() / self.config.cushion.as_secs_f64()).clamp(0.0, 1.0);
         let top = ctx.ladder.highest().index() as f64;
         Level::new((frac * top).floor() as usize)
     }

@@ -205,7 +205,10 @@ mod tests {
     fn holds_level_without_estimate() {
         let ladder = BitrateLadder::simulation();
         let mut f = Festive::default();
-        assert_eq!(f.next_level(&ctx(&ladder, Some(Level::new(2)), 1)), Level::new(2));
+        assert_eq!(
+            f.next_level(&ctx(&ladder, Some(Level::new(2)), 1)),
+            Level::new(2)
+        );
     }
 
     #[test]
@@ -237,7 +240,11 @@ mod tests {
             history.push(level);
         }
         assert_eq!(history[1], Level::new(0), "too early to switch");
-        assert_eq!(history[4], Level::new(1), "dwell satisfied by segment 4: {history:?}");
+        assert_eq!(
+            history[4],
+            Level::new(1),
+            "dwell satisfied by segment 4: {history:?}"
+        );
     }
 
     #[test]
@@ -250,7 +257,11 @@ mod tests {
             feed(&mut f, level, 0.2, i);
         }
         let next = f.next_level(&ctx(&ladder, Some(level), 30));
-        assert_eq!(next, level.down(), "down-switches are immediate (one level)");
+        assert_eq!(
+            next,
+            level.down(),
+            "down-switches are immediate (one level)"
+        );
         level = next;
         let next = f.next_level(&ctx(&ladder, Some(level), 31));
         assert!(next <= level);

@@ -124,7 +124,10 @@ mod tests {
             feed(&mut g, 1.0); // 1 Mbps steady
         }
         // 0.85 Mbps budget -> 790 kbps (level 3).
-        assert_eq!(g.next_level(&ctx(&ladder, Some(Level::new(0)))), Level::new(3));
+        assert_eq!(
+            g.next_level(&ctx(&ladder, Some(Level::new(0)))),
+            Level::new(3)
+        );
     }
 
     #[test]
@@ -136,7 +139,10 @@ mod tests {
         }
         // 3.4 Mbps budget -> top of the ladder, straight from level 0:
         // the aggressiveness FESTIVE's gradual switching avoids.
-        assert_eq!(g.next_level(&ctx(&ladder, Some(Level::new(0)))), Level::new(7));
+        assert_eq!(
+            g.next_level(&ctx(&ladder, Some(Level::new(0)))),
+            Level::new(7)
+        );
     }
 
     #[test]
@@ -150,7 +156,10 @@ mod tests {
             feed(&mut g, 0.4); // a short outage filling the 5-sample window
         }
         // Short window now sees 0.4 Mbps: budget 0.34 Mbps -> 310 kbps.
-        assert_eq!(g.next_level(&ctx(&ladder, Some(Level::new(7)))), Level::new(1));
+        assert_eq!(
+            g.next_level(&ctx(&ladder, Some(Level::new(7)))),
+            Level::new(1)
+        );
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`SharedAssignment`] — the cell through which coordinated schemes
 //!   (FLARE, and AVIS's MBR echo for analysis) hand a network-chosen level
 //!   to a client-side adapter.
+//! * [`VersionedAssignment`] — the robust variant of that cell for
+//!   unreliable control planes: sequence-numbered installs (stale ones
+//!   rejected) plus the client's staleness/fallback state machine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +31,11 @@ mod festive;
 mod google;
 mod rate_based;
 mod shared;
+mod versioned;
 
 pub use buffer_based::{BufferBased, BufferBasedConfig};
 pub use festive::{Festive, FestiveConfig};
 pub use google::{Google, GoogleConfig};
 pub use rate_based::RateBased;
 pub use shared::SharedAssignment;
+pub use versioned::{CoordinationMode, VersionedAssignment};

@@ -108,6 +108,9 @@ mod tests {
             picks.push(r.next_level(&ctx(&ladder)));
         }
         let distinct: std::collections::HashSet<_> = picks[5..].iter().collect();
-        assert!(distinct.len() >= 2, "expected level straddling, got {picks:?}");
+        assert!(
+            distinct.len() >= 2,
+            "expected level straddling, got {picks:?}"
+        );
     }
 }

@@ -41,23 +41,21 @@ fn bench_schedulers(c: &mut Criterion) {
         ("pf", || Box::new(ProportionalFair::default())),
         ("two-phase-gbr", || Box::new(TwoPhaseGbr::default())),
         ("priority-set", || Box::new(PrioritySetScheduler::default())),
-        ("strict-partition", || Box::new(StrictGbrPartition::default())),
+        ("strict-partition", || {
+            Box::new(StrictGbrPartition::default())
+        }),
     ];
     for (name, mk) in make {
         for &flows in &[8usize, 32] {
-            group.bench_with_input(
-                BenchmarkId::new(name, flows),
-                &flows,
-                |b, &flows| {
-                    let mut enb = build_cell(mk(), flows / 2, flows - flows / 2);
-                    let mut ms = 0u64;
-                    b.iter(|| {
-                        let out = enb.step_tti(Time::from_millis(ms));
-                        ms += 1;
-                        black_box(out)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, flows), &flows, |b, &flows| {
+                let mut enb = build_cell(mk(), flows / 2, flows - flows / 2);
+                let mut ms = 0u64;
+                b.iter(|| {
+                    let out = enb.step_tti(Time::from_millis(ms));
+                    ms += 1;
+                    black_box(out)
+                });
+            });
         }
     }
     group.finish();

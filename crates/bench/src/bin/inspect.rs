@@ -23,7 +23,10 @@ fn main() {
     let n_video = 8;
 
     let mc = MobilityConfig::default();
-    let mut enb = ENodeB::new(CellConfig::default(), Box::new(PrioritySetScheduler::default()));
+    let mut enb = ENodeB::new(
+        CellConfig::default(),
+        Box::new(PrioritySetScheduler::default()),
+    );
     let mut flows = Vec::new();
     for ue in 0..n_video {
         let ch: Box<dyn ChannelModel> = if mobile {
@@ -38,7 +41,10 @@ fn main() {
                 x: rng.gen::<f64>() * mc.area.0,
                 y: rng.gen::<f64>() * mc.area.1,
             };
-            let enb_pos = Position { x: 1000.0, y: 1000.0 };
+            let enb_pos = Position {
+                x: 1000.0,
+                y: 1000.0,
+            };
             let shadow = standard_normal(&mut rng) * mc.propagation.shadowing_sigma_db;
             let snr = mc.propagation.mean_snr_db(pos.distance_to(enb_pos)) + shadow;
             Box::new(StaticChannel::new(snr_to_itbs(snr)))
@@ -75,8 +81,6 @@ fn main() {
         for a in assignments {
             enb.set_gbr(a.flow, Some(a.rate));
         }
-        println!(
-            "bai {bai:>3}: levels {levels:?} itbs {itbs:?} bits/rb {eff:?} rbs {total_rbs}"
-        );
+        println!("bai {bai:>3}: levels {levels:?} itbs {itbs:?} bits/rb {eff:?} rbs {total_rbs}");
     }
 }

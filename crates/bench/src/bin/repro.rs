@@ -12,6 +12,7 @@
 //!   fig10                video/data coexistence
 //!   fig11 fig12          alpha / delta sweeps
 //!   ablation             dual-enforcement ablation
+//!   faults               control-plane loss/outage robustness sweep
 //!   all                  everything above
 //! ```
 //!
@@ -21,10 +22,10 @@
 
 use flare_bench::parse_params;
 use flare_scenarios::experiments::{
-    ablation_diversity, ablation_dual_enforcement, ablation_static_partition, fig10, fig11,
-    fig12, fig4, fig5, fig6, fig7, fig8, fig9, legacy_coexistence, table1, table2,
-    ExperimentParams,
+    ablation_diversity, ablation_dual_enforcement, ablation_static_partition, fig10, fig11, fig12,
+    fig4, fig5, fig6, fig7, fig8, fig9, legacy_coexistence, table1, table2, ExperimentParams,
 };
+use flare_scenarios::faults::faults;
 
 fn run_one(name: &str, p: ExperimentParams) -> bool {
     match name {
@@ -47,14 +48,29 @@ fn run_one(name: &str, p: ExperimentParams) -> bool {
         "partition" => println!("{}", ablation_static_partition(p).render()),
         "diversity" => println!("{}", ablation_diversity(p).render()),
         "legacy" => println!("{}", legacy_coexistence(p).render()),
+        "faults" => println!("{}", faults(p).render()),
         _ => return false,
     }
     true
 }
 
 const ALL: &[&str] = &[
-    "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "ablation", "partition", "diversity", "legacy",
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablation",
+    "partition",
+    "diversity",
+    "legacy",
+    "faults",
 ];
 
 fn main() {

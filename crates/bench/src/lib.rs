@@ -75,7 +75,9 @@ mod tests {
 
     #[test]
     fn explicit_overrides() {
-        let (p, rest) = parse_params(&args(&["--runs", "5", "--secs", "300", "--seed", "9", "all"]));
+        let (p, rest) = parse_params(&args(&[
+            "--runs", "5", "--secs", "300", "--seed", "9", "all",
+        ]));
         assert_eq!(p.runs, 5);
         assert_eq!(p.duration, TimeDelta::from_secs(300));
         assert_eq!(p.testbed_duration, TimeDelta::from_secs(300));

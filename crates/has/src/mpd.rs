@@ -52,7 +52,10 @@ impl Mpd {
         segment_duration: TimeDelta,
         media_duration: TimeDelta,
     ) -> Self {
-        assert!(!segment_duration.is_zero(), "segment duration must be non-zero");
+        assert!(
+            !segment_duration.is_zero(),
+            "segment duration must be non-zero"
+        );
         assert!(!media_duration.is_zero(), "media duration must be non-zero");
         assert!(
             segment_duration <= media_duration,

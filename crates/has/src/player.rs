@@ -73,7 +73,8 @@ pub struct SegmentRecord {
 impl SegmentRecord {
     /// Average download throughput for this segment.
     pub fn throughput(&self) -> Rate {
-        self.bytes.rate_over(self.completed_at.since(self.requested_at))
+        self.bytes
+            .rate_over(self.completed_at.since(self.requested_at))
     }
 }
 
@@ -190,7 +191,10 @@ impl Player {
     ///
     /// Panics in debug builds if `dt` exceeds `now` (time under-run).
     pub fn step(&mut self, now: Time, dt: TimeDelta) -> Option<SegmentRequest> {
-        debug_assert!(now.as_millis() >= dt.as_millis(), "dt larger than elapsed time");
+        debug_assert!(
+            now.as_millis() >= dt.as_millis(),
+            "dt larger than elapsed time"
+        );
         self.advance_playback(now, dt);
         self.maybe_request(now)
     }
@@ -344,7 +348,11 @@ mod tests {
     }
 
     fn player(level: usize, media_s: u64) -> Player {
-        Player::new(mpd(media_s), PlayerConfig::default(), Box::new(Fixed(Level::new(level))))
+        Player::new(
+            mpd(media_s),
+            PlayerConfig::default(),
+            Box::new(Fixed(Level::new(level))),
+        )
     }
 
     /// Drives the player against a fixed-rate link for `total` time.
@@ -416,8 +424,10 @@ mod tests {
         let started = stats.playback_started_at.expect("playback must start");
         // 625,000 bytes at 5 Mbps = 1 s for the first segment; startup
         // threshold is one segment, so playback starts right after.
-        assert!(started >= Time::from_millis(900) && started <= Time::from_millis(1200),
-            "started at {started:?}");
+        assert!(
+            started >= Time::from_millis(900) && started <= Time::from_millis(1200),
+            "started at {started:?}"
+        );
     }
 
     #[test]
@@ -441,7 +451,11 @@ mod tests {
         let mut p = player(1, 300);
         run(&mut p, Rate::from_mbps(2.0), TimeDelta::from_secs(50));
         let r = p.records()[0];
-        assert!((r.throughput().as_mbps() - 2.0).abs() < 0.1, "tput {:?}", r.throughput());
+        assert!(
+            (r.throughput().as_mbps() - 2.0).abs() < 0.1,
+            "tput {:?}",
+            r.throughput()
+        );
         assert_eq!(r.segment_index, 0);
         assert_eq!(r.buffer_after, TimeDelta::from_secs(10));
     }
@@ -459,7 +473,11 @@ mod tests {
                 "alternate"
             }
         }
-        let mut p = Player::new(mpd(100), PlayerConfig::default(), Box::new(Alternate(false)));
+        let mut p = Player::new(
+            mpd(100),
+            PlayerConfig::default(),
+            Box::new(Alternate(false)),
+        );
         run(&mut p, Rate::from_mbps(10.0), TimeDelta::from_secs(200));
         let stats = p.stats();
         assert_eq!(stats.segments, 10);
@@ -493,10 +511,7 @@ mod tests {
         runner
             .run(
                 // Per-TTI delivery rates in bytes (0 = outage), plus a level.
-                &(
-                    proptest::collection::vec(0u64..4000, 50..400),
-                    0usize..6,
-                ),
+                &(proptest::collection::vec(0u64..4000, 50..400), 0usize..6),
                 |(deliveries, level)| {
                     let mut p = player(level, 100);
                     let mut now = Time::ZERO;
@@ -511,9 +526,7 @@ mod tests {
                         }
                     }
                     // 1. Segments complete strictly in order, no skips.
-                    prop_assert!(completed_indices
-                        .windows(2)
-                        .all(|w| w[1] == w[0] + 1));
+                    prop_assert!(completed_indices.windows(2).all(|w| w[1] == w[0] + 1));
                     // 2. Stats are internally consistent.
                     let stats = p.stats();
                     prop_assert_eq!(stats.segments as usize, completed_indices.len());

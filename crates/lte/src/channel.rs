@@ -98,8 +98,16 @@ impl TriangleWave {
     /// Panics if `min > max` or `period` is zero.
     pub fn new(min: Itbs, max: Itbs, period: TimeDelta, offset: TimeDelta) -> Self {
         assert!(min <= max, "triangle wave requires min <= max");
-        assert!(!period.is_zero(), "triangle wave requires a non-zero period");
-        TriangleWave { min, max, period, offset }
+        assert!(
+            !period.is_zero(),
+            "triangle wave requires a non-zero period"
+        );
+        TriangleWave {
+            min,
+            max,
+            period,
+            offset,
+        }
     }
 }
 
@@ -295,11 +303,21 @@ impl MarkovChannel {
     ///
     /// Panics if the bounds are invalid, `start` is outside them, `step` is
     /// zero, or `p_move` is not a probability.
-    pub fn new(min: Itbs, max: Itbs, start: Itbs, step: TimeDelta, p_move: f64, rng: SmallRng) -> Self {
+    pub fn new(
+        min: Itbs,
+        max: Itbs,
+        start: Itbs,
+        step: TimeDelta,
+        p_move: f64,
+        rng: SmallRng,
+    ) -> Self {
         assert!(min <= max, "markov channel requires min <= max");
         assert!(start >= min && start <= max, "start must lie within bounds");
         assert!(!step.is_zero(), "update step must be non-zero");
-        assert!((0.0..=1.0).contains(&p_move), "p_move must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&p_move),
+            "p_move must be a probability"
+        );
         MarkovChannel {
             min: min.index(),
             max: max.index(),
@@ -366,7 +384,10 @@ mod tests {
             TimeDelta::from_secs(120),
         );
         assert_eq!(b.itbs_at(Time::ZERO), a.itbs_at(Time::from_secs(120)));
-        assert_eq!(b.itbs_at(Time::from_secs(120)), a.itbs_at(Time::from_secs(240)));
+        assert_eq!(
+            b.itbs_at(Time::from_secs(120)),
+            a.itbs_at(Time::from_secs(240))
+        );
     }
 
     #[test]
@@ -453,7 +474,10 @@ mod tests {
             TraceChannel::from_csv("0,99\n"),
             Err(ParseTraceError::BadItbs { line: 1 })
         );
-        assert_eq!(TraceChannel::from_csv("# nothing\n"), Err(ParseTraceError::Empty));
+        assert_eq!(
+            TraceChannel::from_csv("# nothing\n"),
+            Err(ParseTraceError::Empty)
+        );
         assert_eq!(
             TraceChannel::from_csv("100,5\n"),
             Err(ParseTraceError::BadTimeline)

@@ -51,6 +51,9 @@ struct FlowState {
     channel: Box<dyn ChannelModel>,
     qos: BearerQos,
     gbr_bucket: Option<TokenBucket>,
+    /// When set, the GBR is a *lease*: it clears itself at this time unless
+    /// renewed. `None` means the GBR is persistent (classic bearer setup).
+    gbr_expires: Option<Time>,
     mbr_bucket: Option<TokenBucket>,
     /// Pending bytes; `None` means always backlogged (greedy data flow).
     backlog: Option<ByteCount>,
@@ -79,6 +82,7 @@ pub struct ENodeB {
     flows: Vec<FlowState>,
     report_start: Time,
     now: Time,
+    expired_leases: u64,
 }
 
 impl std::fmt::Debug for ENodeB {
@@ -94,13 +98,17 @@ impl std::fmt::Debug for ENodeB {
 impl ENodeB {
     /// Creates a cell with the given configuration and MAC scheduler.
     pub fn new(config: CellConfig, scheduler: Box<dyn MacScheduler>) -> Self {
-        assert!(config.rbs_per_tti > 0, "cell must have at least one RB per TTI");
+        assert!(
+            config.rbs_per_tti > 0,
+            "cell must have at least one RB per TTI"
+        );
         ENodeB {
             config,
             scheduler,
             flows: Vec::new(),
             report_start: Time::ZERO,
             now: Time::ZERO,
+            expired_leases: 0,
         }
     }
 
@@ -113,6 +121,7 @@ impl ENodeB {
             channel,
             qos: BearerQos::default(),
             gbr_bucket: None,
+            gbr_expires: None,
             mbr_bucket: None,
             backlog: match class {
                 FlowClass::Video => Some(ByteCount::ZERO),
@@ -152,6 +161,8 @@ impl ENodeB {
         let now = self.now;
         let window = self.config.gbr_burst_window;
         let st = self.flow_mut(flow);
+        // A plain set is persistent: it cancels any outstanding lease.
+        st.gbr_expires = None;
         st.qos.gbr = gbr;
         match (gbr, st.gbr_bucket.as_mut()) {
             (Some(rate), Some(bucket)) => bucket.set_rate(rate),
@@ -163,6 +174,38 @@ impl ENodeB {
             }
             (None, _) => st.gbr_bucket = None,
         }
+    }
+
+    /// Sets a flow's guaranteed bit rate as a *lease* that self-destructs at
+    /// `expires_at` unless renewed (by another lease or a plain
+    /// [`ENodeB::set_gbr`]).
+    ///
+    /// A robust control plane grants leases instead of persistent GBRs: if
+    /// the OneAPI server dies mid-experiment, stale reservations evaporate
+    /// after a bounded number of BAIs and the radio resources return to the
+    /// proportional-fair pool, instead of staying pinned to whatever the
+    /// last solve decided forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is unknown or `expires_at` is not in the future.
+    pub fn set_gbr_lease(&mut self, flow: FlowId, gbr: Rate, expires_at: Time) {
+        assert!(
+            expires_at > self.now,
+            "a GBR lease must expire in the future"
+        );
+        self.set_gbr(flow, Some(gbr));
+        self.flow_mut(flow).gbr_expires = Some(expires_at);
+    }
+
+    /// When the flow's GBR lease expires (`None`: no GBR, or persistent).
+    pub fn lease_expiry(&self, flow: FlowId) -> Option<Time> {
+        self.flows[flow.index()].gbr_expires
+    }
+
+    /// GBR leases that expired without renewal since the cell was created.
+    pub fn expired_lease_count(&self) -> u64 {
+        self.expired_leases
     }
 
     /// Sets or clears a flow's maximum bit rate (AVIS-style cap).
@@ -232,6 +275,18 @@ impl ENodeB {
         debug_assert!(now >= self.now, "TTIs must advance monotonically");
         self.now = now;
 
+        // 0. Expire GBR leases that were not renewed.
+        for st in &mut self.flows {
+            if let Some(expires_at) = st.gbr_expires {
+                if now >= expires_at {
+                    st.gbr_expires = None;
+                    st.qos.gbr = None;
+                    st.gbr_bucket = None;
+                    self.expired_leases += 1;
+                }
+            }
+        }
+
         // 1. Refresh channels and bearer buckets.
         let mut states = Vec::with_capacity(self.flows.len());
         for (i, st) in self.flows.iter_mut().enumerate() {
@@ -253,7 +308,10 @@ impl ENodeB {
                 class: st.class,
                 backlog: raw_backlog.min(mbr_allowance),
                 bits_per_rb: self.config.link_adaptation.bits_per_rb(itbs),
-                gbr_credit: st.gbr_bucket.as_ref().map_or(ByteCount::ZERO, |b| b.available()),
+                gbr_credit: st
+                    .gbr_bucket
+                    .as_ref()
+                    .map_or(ByteCount::ZERO, |b| b.available()),
             });
         }
 
@@ -286,7 +344,10 @@ impl ENodeB {
             st.interval_bytes += bytes;
             st.total_bytes += bytes;
             if !bytes.is_zero() || g.rbs > 0 {
-                delivered.push(Delivered { flow: g.flow, bytes });
+                delivered.push(Delivered {
+                    flow: g.flow,
+                    bytes,
+                });
             }
         }
         delivered
@@ -315,7 +376,11 @@ impl ENodeB {
                 s
             })
             .collect();
-        IntervalReport { start, end: now, flows }
+        IntervalReport {
+            start,
+            end: now,
+            flows,
+        }
     }
 
     /// Lifetime bytes delivered to a flow.
@@ -357,7 +422,10 @@ mod tests {
     #[test]
     fn video_flow_drains_exact_backlog() {
         let mut enb = cell(Box::new(ProportionalFair::default()));
-        let f = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(12))));
+        let f = enb.add_flow(
+            FlowClass::Video,
+            Box::new(StaticChannel::new(Itbs::new(12))),
+        );
         enb.push_backlog(f, ByteCount::new(10_000));
         let mut total = ByteCount::ZERO;
         let mut t = Time::ZERO;
@@ -377,7 +445,10 @@ mod tests {
     #[test]
     fn gbr_flow_paced_at_guaranteed_rate() {
         let mut enb = cell(Box::new(TwoPhaseGbr::default()));
-        let video = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(12))));
+        let video = enb.add_flow(
+            FlowClass::Video,
+            Box::new(StaticChannel::new(Itbs::new(12))),
+        );
         let _data = enb.add_flow(FlowClass::Data, Box::new(StaticChannel::new(Itbs::new(12))));
         enb.set_gbr(video, Some(Rate::from_kbps(790.0)));
         enb.push_backlog(video, ByteCount::new(10_000_000));
@@ -448,7 +519,11 @@ mod tests {
     fn rb_conservation_under_many_flows() {
         let mut enb = cell(Box::new(TwoPhaseGbr::default()));
         for i in 0..8 {
-            let class = if i % 2 == 0 { FlowClass::Video } else { FlowClass::Data };
+            let class = if i % 2 == 0 {
+                FlowClass::Video
+            } else {
+                FlowClass::Data
+            };
             let f = enb.add_flow(class, Box::new(StaticChannel::new(Itbs::new(3 + i))));
             if class == FlowClass::Video {
                 enb.set_gbr(f, Some(Rate::from_kbps(500.0)));
@@ -460,7 +535,11 @@ mod tests {
         // 50 RB/TTI * 5000 TTIs is the hard ceiling.
         assert!(report.total_rbs() <= 250_000);
         // With greedy data flows present the cell should be fully loaded.
-        assert!(report.total_rbs() >= 249_000, "cell idle: {}", report.total_rbs());
+        assert!(
+            report.total_rbs() >= 249_000,
+            "cell idle: {}",
+            report.total_rbs()
+        );
     }
 
     #[test]
@@ -539,5 +618,78 @@ mod tests {
         assert_eq!(enb.qos(f).gbr, Some(Rate::from_kbps(790.0)));
         enb.set_gbr(f, None);
         assert_eq!(enb.qos(f).gbr, None);
+    }
+
+    #[test]
+    fn gbr_lease_expires_without_renewal() {
+        let mut enb = cell(Box::new(TwoPhaseGbr::default()));
+        let f = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(5))));
+        enb.set_gbr_lease(f, Rate::from_kbps(500.0), Time::from_millis(100));
+        assert_eq!(enb.qos(f).gbr, Some(Rate::from_kbps(500.0)));
+        assert_eq!(enb.lease_expiry(f), Some(Time::from_millis(100)));
+        run_ttis(&mut enb, 0, 99);
+        assert_eq!(enb.qos(f).gbr, Some(Rate::from_kbps(500.0)));
+        enb.step_tti(Time::from_millis(100));
+        assert_eq!(enb.qos(f).gbr, None);
+        assert_eq!(enb.lease_expiry(f), None);
+        assert_eq!(enb.expired_lease_count(), 1);
+    }
+
+    #[test]
+    fn renewed_lease_does_not_expire() {
+        let mut enb = cell(Box::new(TwoPhaseGbr::default()));
+        let f = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(5))));
+        enb.set_gbr_lease(f, Rate::from_kbps(500.0), Time::from_millis(100));
+        run_ttis(&mut enb, 0, 50);
+        // Renewal pushes the expiry out; the old deadline passes harmlessly.
+        enb.set_gbr_lease(f, Rate::from_kbps(790.0), Time::from_millis(200));
+        run_ttis(&mut enb, 50, 100);
+        assert_eq!(enb.qos(f).gbr, Some(Rate::from_kbps(790.0)));
+        assert_eq!(enb.expired_lease_count(), 0);
+    }
+
+    #[test]
+    fn plain_set_gbr_cancels_lease() {
+        let mut enb = cell(Box::new(TwoPhaseGbr::default()));
+        let f = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(5))));
+        enb.set_gbr_lease(f, Rate::from_kbps(500.0), Time::from_millis(100));
+        enb.set_gbr(f, Some(Rate::from_kbps(500.0)));
+        assert_eq!(enb.lease_expiry(f), None);
+        run_ttis(&mut enb, 0, 200);
+        // Persistent GBR outlives the would-be lease deadline.
+        assert_eq!(enb.qos(f).gbr, Some(Rate::from_kbps(500.0)));
+        assert_eq!(enb.expired_lease_count(), 0);
+    }
+
+    #[test]
+    fn expired_lease_returns_rbs_to_pf_pool() {
+        // A leased video flow and a greedy data flow: while the lease is
+        // live the video's GBR is honoured; after expiry the data flow's
+        // share grows because nothing is reserved any more.
+        let mut enb = cell(Box::new(TwoPhaseGbr::default()));
+        let video = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(8))));
+        let data = enb.add_flow(FlowClass::Data, Box::new(StaticChannel::new(Itbs::new(8))));
+        enb.set_gbr_lease(video, Rate::from_kbps(1500.0), Time::from_secs(5));
+        enb.push_backlog(video, ByteCount::new(100_000_000));
+        run_ttis(&mut enb, 0, 5_000);
+        let leased = enb.take_report(Time::from_secs(5));
+        run_ttis(&mut enb, 5_000, 5_000);
+        let expired = enb.take_report(Time::from_secs(10));
+        assert_eq!(enb.expired_lease_count(), 1);
+        let d_before = leased.flow(data).unwrap().rbs;
+        let d_after = expired.flow(data).unwrap().rbs;
+        assert!(
+            d_after > d_before,
+            "data flow RBs should grow after lease expiry: {d_before} -> {d_after}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expire in the future")]
+    fn lease_in_the_past_panics() {
+        let mut enb = cell(Box::new(TwoPhaseGbr::default()));
+        let f = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(5))));
+        enb.step_tti(Time::from_millis(10));
+        enb.set_gbr_lease(f, Rate::from_kbps(500.0), Time::from_millis(10));
     }
 }

@@ -78,7 +78,12 @@ impl RandomWaypoint {
     ///
     /// Panics if the area is not positive or the speed range is invalid
     /// (non-positive or reversed).
-    pub fn new(area: (f64, f64), speed_range: (f64, f64), pause: TimeDelta, mut rng: SmallRng) -> Self {
+    pub fn new(
+        area: (f64, f64),
+        speed_range: (f64, f64),
+        pause: TimeDelta,
+        mut rng: SmallRng,
+    ) -> Self {
         assert!(area.0 > 0.0 && area.1 > 0.0, "area must be positive");
         assert!(
             speed_range.0 > 0.0 && speed_range.1 >= speed_range.0,
@@ -110,9 +115,7 @@ impl RandomWaypoint {
             y: self.rng.gen::<f64>() * self.area.1,
         };
         let dist = self.leg_start_pos.distance_to(self.waypoint);
-        let speed = self
-            .rng
-            .gen_range(self.speed_range.0..=self.speed_range.1);
+        let speed = self.rng.gen_range(self.speed_range.0..=self.speed_range.1);
         let travel = TimeDelta::from_secs_f64((dist / speed).max(1e-3));
         self.leg_start = now;
         self.leg_arrive = now + travel;
@@ -130,7 +133,11 @@ impl RandomWaypoint {
         }
         let total = self.leg_arrive.since(self.leg_start).as_secs_f64();
         let done = t.saturating_since(self.leg_start).as_secs_f64();
-        let f = if total > 0.0 { (done / total).clamp(0.0, 1.0) } else { 1.0 };
+        let f = if total > 0.0 {
+            (done / total).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
         Position {
             x: self.leg_start_pos.x + f * (self.waypoint.x - self.leg_start_pos.x),
             y: self.leg_start_pos.y + f * (self.waypoint.y - self.leg_start_pos.y),
@@ -400,7 +407,10 @@ mod tests {
         let p = Propagation::default();
         assert!(snr_to_itbs(p.mean_snr_db(50.0)) >= Itbs::new(24));
         let edge = snr_to_itbs(p.mean_snr_db(1414.0));
-        assert!(edge <= Itbs::new(10), "edge operating point too high: {edge:?}");
+        assert!(
+            edge <= Itbs::new(10),
+            "edge operating point too high: {edge:?}"
+        );
     }
 
     #[test]
@@ -416,13 +426,17 @@ mod tests {
             assert_eq!(v, b.itbs_at(t));
             distinct.insert(v);
         }
-        assert!(distinct.len() >= 3, "mobile channel should vary, got {distinct:?}");
+        assert!(
+            distinct.len() >= 3,
+            "mobile channel should vary, got {distinct:?}"
+        );
     }
 
     #[test]
     fn generated_trace_matches_live_channel() {
         let cfg = MobilityConfig::default();
-        let mut live = MobilityChannel::new(cfg.clone(), stream(6, "walk", 2), stream(6, "fade", 2));
+        let mut live =
+            MobilityChannel::new(cfg.clone(), stream(6, "walk", 2), stream(6, "fade", 2));
         let mut trace = generate_trace(
             &cfg,
             TimeDelta::from_secs(120),
@@ -445,6 +459,9 @@ mod tests {
             stream(7, "fade", 0),
         );
         let entries = tr.trace();
-        assert!(entries.windows(2).all(|w| w[0].1 != w[1].1), "adjacent duplicates present");
+        assert!(
+            entries.windows(2).all(|w| w[0].1 != w[1].1),
+            "adjacent duplicates present"
+        );
     }
 }

@@ -97,7 +97,10 @@ pub(crate) struct PfAverages {
 impl PfAverages {
     pub(crate) fn new(tc_ttis: f64) -> Self {
         assert!(tc_ttis >= 1.0, "PF time constant must be >= 1 TTI");
-        PfAverages { tc_ttis, avgs: Vec::new() }
+        PfAverages {
+            tc_ttis,
+            avgs: Vec::new(),
+        }
     }
 
     fn ensure(&mut self, flow: FlowId) {
@@ -189,7 +192,10 @@ pub(crate) fn settle_averages(
     grants: &[RbAllocation],
 ) {
     for f in flows {
-        let rbs = grants.iter().find(|g| g.flow == f.flow).map_or(0, |g| g.rbs);
+        let rbs = grants
+            .iter()
+            .find(|g| g.flow == f.flow)
+            .map_or(0, |g| g.rbs);
         let delivered = f.bytes_for_rbs(rbs).min(f.backlog);
         averages.update(f.flow, delivered.as_bits() as f64);
     }
@@ -223,7 +229,10 @@ pub(crate) mod testutil {
 
     /// RBs granted to one flow.
     pub(crate) fn rbs_of(grants: &[RbAllocation], id: u32) -> u32 {
-        grants.iter().find(|g| g.flow == FlowId(id)).map_or(0, |g| g.rbs)
+        grants
+            .iter()
+            .find(|g| g.flow == FlowId(id))
+            .map_or(0, |g| g.rbs)
     }
 }
 
@@ -248,7 +257,13 @@ mod tests {
         push_grant(&mut g, FlowId(1), 3);
         push_grant(&mut g, FlowId(1), 2);
         push_grant(&mut g, FlowId(2), 0);
-        assert_eq!(g, vec![RbAllocation { flow: FlowId(1), rbs: 5 }]);
+        assert_eq!(
+            g,
+            vec![RbAllocation {
+                flow: FlowId(1),
+                rbs: 5
+            }]
+        );
     }
 
     #[test]

@@ -129,7 +129,13 @@ mod tests {
         // ...then flow 1 appears and must immediately out-rank flow 0.
         let flows = vec![
             flow(0, FlowClass::Data, u64::MAX / 2, 128.0, 0),
-            flow(1, FlowClass::Data, ByteCount::new(u64::MAX / 2).as_u64(), 128.0, 0),
+            flow(
+                1,
+                FlowClass::Data,
+                ByteCount::new(u64::MAX / 2).as_u64(),
+                128.0,
+                0,
+            ),
         ];
         let grants = pf.allocate(50, &flows);
         assert!(rbs_of(&grants, 1) >= rbs_of(&grants, 0));
@@ -144,7 +150,9 @@ mod tests {
                 flow(1, FlowClass::Data, 1_000_000, 208.0, 0),
                 flow(2, FlowClass::Data, 1_000_000, 64.0, 0),
             ];
-            (0..200).map(|_| pf.allocate(50, &flows)).collect::<Vec<_>>()
+            (0..200)
+                .map(|_| pf.allocate(50, &flows))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

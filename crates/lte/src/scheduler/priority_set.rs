@@ -1,6 +1,8 @@
 //! The ns-3 Priority Set Scheduler analogue used by the simulation study.
 
-use super::{pf_pass, push_grant, settle_averages, FlowTtiState, MacScheduler, PfAverages, RbAllocation};
+use super::{
+    pf_pass, push_grant, settle_averages, FlowTtiState, MacScheduler, PfAverages, RbAllocation,
+};
 
 /// Priority-Set scheduling (Monghal et al., the scheduler the paper modifies
 /// in ns-3): flows below their target (GBR) rate form a priority set served

@@ -116,7 +116,10 @@ mod tests {
             }
         }
         let ratio = tot[0] as f64 / tot[1] as f64;
-        assert!((ratio - 1.0).abs() < 0.05, "RR must be channel-blind: {tot:?}");
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "RR must be channel-blind: {tot:?}"
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The femtocell Scheduler Module: GBR phase + proportional-fair phase.
 
-
-use super::{pf_pass, push_grant, settle_averages, FlowTtiState, MacScheduler, PfAverages, RbAllocation};
+use super::{
+    pf_pass, push_grant, settle_averages, FlowTtiState, MacScheduler, PfAverages, RbAllocation,
+};
 
 /// Two-phase GBR scheduling, as implemented in the paper's eNodeB MAC
 /// (Section III-B):
@@ -155,7 +156,10 @@ mod tests {
             flow(1, FlowClass::Data, 1_000_000, 128.0, 0),
         ];
         let grants = s.allocate(50, &flows);
-        assert!(rbs_of(&grants, 0) >= 10, "GBR flow must get its credit first");
+        assert!(
+            rbs_of(&grants, 0) >= 10,
+            "GBR flow must get its credit first"
+        );
         assert_eq!(total(&grants), 50);
     }
 

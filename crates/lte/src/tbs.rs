@@ -49,7 +49,10 @@ impl Itbs {
     ///
     /// Panics if `index > ITBS_MAX`.
     pub fn new(index: u8) -> Self {
-        assert!(index <= ITBS_MAX, "iTbs index {index} out of range 0..={ITBS_MAX}");
+        assert!(
+            index <= ITBS_MAX,
+            "iTbs index {index} out of range 0..={ITBS_MAX}"
+        );
         Itbs(index)
     }
 
@@ -108,7 +111,9 @@ impl LinkAdaptation {
             spatial_multiplexing > 0.0 && spatial_multiplexing <= 8.0,
             "spatial multiplexing gain must be in (0, 8]"
         );
-        LinkAdaptation { spatial_multiplexing }
+        LinkAdaptation {
+            spatial_multiplexing,
+        }
     }
 
     /// Deliverable bits for one PRB over one TTI at the given operating point.
@@ -224,7 +229,10 @@ mod tests {
     #[test]
     fn rate_of_rbs_zero_period_is_zero() {
         let la = LinkAdaptation::default();
-        assert_eq!(la.rate_of_rbs(Itbs::new(5), 100, TimeDelta::ZERO), Rate::ZERO);
+        assert_eq!(
+            la.rate_of_rbs(Itbs::new(5), 100, TimeDelta::ZERO),
+            Rate::ZERO
+        );
     }
 
     #[test]

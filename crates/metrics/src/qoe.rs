@@ -107,7 +107,9 @@ mod tests {
     fn switches_and_stalls_cost() {
         let stable = QoeInputs::from_session(&[500.0; 10], 0.0, 100.0);
         let flappy = QoeInputs::from_session(
-            &[250.0, 1000.0, 250.0, 1000.0, 250.0, 1000.0, 250.0, 1000.0, 250.0, 1000.0],
+            &[
+                250.0, 1000.0, 250.0, 1000.0, 250.0, 1000.0, 250.0, 1000.0, 250.0, 1000.0,
+            ],
             0.0,
             100.0,
         );

@@ -60,7 +60,11 @@ impl Summary {
 
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.2} ± {:.2} (n={})", self.mean, self.std_dev, self.count)
+        write!(
+            f,
+            "{:.2} ± {:.2} (n={})",
+            self.mean, self.std_dev, self.count
+        )
     }
 }
 

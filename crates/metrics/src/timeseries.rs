@@ -106,10 +106,7 @@ impl TimeSeries {
     /// Counts transitions to a different value — the "number of bitrate
     /// changes" metric when the series carries per-segment rates.
     pub fn change_count(&self) -> usize {
-        self.points
-            .windows(2)
-            .filter(|w| w[0].1 != w[1].1)
-            .count()
+        self.points.windows(2).filter(|w| w[0].1 != w[1].1).count()
     }
 }
 
@@ -148,7 +145,10 @@ mod tests {
     fn resample_grid() {
         let ts = series(&[(0.0, 1.0), (10.0, 2.0), (30.0, 3.0)]);
         let r = ts.resample(10.0);
-        assert_eq!(r.points(), &[(0.0, 1.0), (10.0, 2.0), (20.0, 2.0), (30.0, 3.0)]);
+        assert_eq!(
+            r.points(),
+            &[(0.0, 1.0), (10.0, 2.0), (20.0, 2.0), (30.0, 3.0)]
+        );
     }
 
     #[test]

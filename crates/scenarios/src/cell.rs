@@ -63,15 +63,14 @@ pub fn mixed_run(
     duration: TimeDelta,
 ) -> RunResult {
     let channel = ChannelKind::StationaryRandom(MobilityConfig::default());
-    CellSim::new(cell_config(scheme, channel, n_video, n_data, seed, duration)).run()
+    CellSim::new(cell_config(
+        scheme, channel, n_video, n_data, seed, duration,
+    ))
+    .run()
 }
 
 /// Executes `n_runs` independent runs (seeds `seed0..seed0+n_runs`).
-pub fn repeat(
-    n_runs: usize,
-    seed0: u64,
-    mut one: impl FnMut(u64) -> RunResult,
-) -> Vec<RunResult> {
+pub fn repeat(n_runs: usize, seed0: u64, mut one: impl FnMut(u64) -> RunResult) -> Vec<RunResult> {
     (0..n_runs).map(|i| one(seed0 + i as u64)).collect()
 }
 
@@ -120,9 +119,7 @@ mod tests {
 
     #[test]
     fn static_runs_pool_correctly() {
-        let runs = repeat(2, 40, |s| {
-            static_run(SchemeKind::Festive, s, SHORT)
-        });
+        let runs = repeat(2, 40, |s| static_run(SchemeKind::Festive, s, SHORT));
         assert_eq!(runs.len(), 2);
         assert_eq!(pooled_rates(&runs).len(), 16);
         assert_eq!(pooled_changes(&runs).len(), 16);
@@ -157,13 +154,7 @@ mod tests {
 
     #[test]
     fn mixed_run_balances_classes() {
-        let r = mixed_run(
-            SchemeKind::Flare(FlareConfig::default()),
-            4,
-            4,
-            9,
-            SHORT,
-        );
+        let r = mixed_run(SchemeKind::Flare(FlareConfig::default()), 4, 4, 9, SHORT);
         assert_eq!(r.videos.len(), 4);
         assert_eq!(r.data.len(), 4);
         assert!(r.average_data_throughput_kbps() > 0.0);

@@ -2,7 +2,7 @@
 //! which adaptation scheme.
 
 use flare_abr::avis::AvisConfig;
-use flare_core::{ClientPrefs, FlareConfig};
+use flare_core::{ClientPrefs, FaultModel, FlareConfig};
 use flare_has::{BitrateLadder, PlayerConfig};
 use flare_lte::mobility::MobilityConfig;
 use flare_lte::CellConfig;
@@ -64,6 +64,9 @@ impl SchemeKind {
             SchemeKind::Festive => "FESTIVE",
             SchemeKind::Google => "GOOGLE",
             SchemeKind::BufferBased => "BBA",
+            // Robustness configured -> the graceful-degradation variant
+            // (versioned assignments, fallback plugin, GBR leases).
+            SchemeKind::Flare(fc) if fc.robustness.is_some() => "FLARE-R",
             SchemeKind::Flare(_) => "FLARE",
             SchemeKind::FlareGbrOnly(_) => "FLARE-GBR-ONLY",
             SchemeKind::Avis(_) => "AVIS",
@@ -130,6 +133,13 @@ pub struct SimConfig {
     /// start), which is the noise source that destabilizes throughput-
     /// estimating clients on real testbeds — see EXPERIMENTS.md.
     pub request_jitter: TimeDelta,
+    /// Control-plane fault model for coordinated (FLARE) schemes: when set,
+    /// statistics reports and assignments travel through a fault-injectable
+    /// [`flare_core::ControlPlane`] instead of being exchanged losslessly.
+    /// `None` keeps the paper's lossless in-process exchange (and the
+    /// bit-exact legacy code path). Ignored by client-side schemes, which
+    /// have no control plane.
+    pub faults: Option<FaultModel>,
 }
 
 impl SimConfig {
@@ -166,6 +176,7 @@ impl Default for SimConfigBuilder {
                 prefs: Vec::new(),
                 legacy_video: 0,
                 request_jitter: TimeDelta::ZERO,
+                faults: None,
             },
         }
     }
@@ -260,6 +271,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Routes the coordination loop through a fault-injectable control
+    /// plane with the given fault model.
+    pub fn faults(mut self, faults: FaultModel) -> Self {
+        self.config.faults = Some(faults);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -318,6 +336,22 @@ mod tests {
             SchemeKind::FlareGbrOnly(FlareConfig::default()).name(),
             "FLARE-GBR-ONLY"
         );
+        assert_eq!(
+            SchemeKind::Flare(
+                FlareConfig::default().with_robustness(flare_core::RobustnessConfig::default())
+            )
+            .name(),
+            "FLARE-R"
+        );
+    }
+
+    #[test]
+    fn faults_knob_defaults_off() {
+        assert!(SimConfig::builder().build().faults.is_none());
+        let c = SimConfig::builder()
+            .faults(FaultModel::perfect().with_drop_prob(0.2))
+            .build();
+        assert_eq!(c.faults.unwrap().drop_prob, 0.2);
     }
 
     #[test]

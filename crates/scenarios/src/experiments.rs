@@ -80,9 +80,21 @@ impl SchemeSummaryRow {
         let n = runs.len() as f64;
         SchemeSummaryRow {
             scheme: scheme.to_owned(),
-            average_rate_kbps: runs.iter().map(RunResult::average_video_rate_kbps).sum::<f64>() / n,
-            underflow_secs: runs.iter().map(RunResult::average_underflow_secs).sum::<f64>() / n,
-            bitrate_changes: runs.iter().map(RunResult::average_bitrate_changes).sum::<f64>() / n,
+            average_rate_kbps: runs
+                .iter()
+                .map(RunResult::average_video_rate_kbps)
+                .sum::<f64>()
+                / n,
+            underflow_secs: runs
+                .iter()
+                .map(RunResult::average_underflow_secs)
+                .sum::<f64>()
+                / n,
+            bitrate_changes: runs
+                .iter()
+                .map(RunResult::average_bitrate_changes)
+                .sum::<f64>()
+                / n,
             jain: runs.iter().map(RunResult::jain_of_video_rates).sum::<f64>() / n,
             data_throughput_kbps: runs
                 .iter()
@@ -130,7 +142,9 @@ impl SchemeSummaryTable {
         out.push_str(&metric("Average number of bitrate changes", &|r| {
             format!("{:.1}", r.bitrate_changes)
         }));
-        out.push_str(&metric("Jain's fairness index", &|r| format!("{:.3}", r.jain)));
+        out.push_str(&metric("Jain's fairness index", &|r| {
+            format!("{:.3}", r.jain)
+        }));
         out.push_str(&metric("Avg. data flow throughput (Kbps)", &|r| {
             format!("{:.0}", r.data_throughput_kbps)
         }));
@@ -464,8 +478,7 @@ impl RelaxationFigure {
     pub fn render(&self) -> String {
         let mut out = "Figure 8: FLARE with continuous bitrate optimization\n".to_owned();
         for p in &self.panels {
-            let loss =
-                100.0 * (1.0 - p.relaxed_rates.mean() / p.exact_rates.mean().max(1e-9));
+            let loss = 100.0 * (1.0 - p.relaxed_rates.mean() / p.exact_rates.mean().max(1e-9));
             out.push_str(&format!(
                 "{:<8} rate mean: exact {:.0} kbps, relaxed {:.0} kbps ({:+.1}% loss); \
                  changes mean: exact {:.1}, relaxed {:.1}\n",
@@ -538,8 +551,12 @@ pub fn fig9(iterations: usize, seed: u64) -> ScalingFigure {
         .into_iter()
         .map(|n| {
             let exact = as_millis(&measure_solve_times(n, iterations, SolveMode::Exact, seed));
-            let relaxed =
-                as_millis(&measure_solve_times(n, iterations, SolveMode::Relaxed, seed));
+            let relaxed = as_millis(&measure_solve_times(
+                n,
+                iterations,
+                SolveMode::Relaxed,
+                seed,
+            ));
             (n, Cdf::from_samples(exact), Cdf::from_samples(relaxed))
         })
         .collect();
@@ -580,7 +597,14 @@ impl AlphaFigure {
 /// Figure 11: α sweep (0.25 → 4), 8 video + 8 data UEs.
 pub fn fig11(p: ExperimentParams) -> AlphaFigure {
     AlphaFigure {
-        points: alpha_sweep(&[0.25, 0.5, 1.0, 2.0, 4.0], p.runs, 8, 8, p.duration, p.seed),
+        points: alpha_sweep(
+            &[0.25, 0.5, 1.0, 2.0, 4.0],
+            p.runs,
+            8,
+            8,
+            p.duration,
+            p.seed,
+        ),
     }
 }
 
@@ -674,7 +698,10 @@ pub fn ablation_dual_enforcement(p: ExperimentParams) -> DualEnforcementAblation
         )
     });
     let mean_underflow = |runs: &[RunResult]| {
-        runs.iter().map(RunResult::average_underflow_secs).sum::<f64>() / runs.len() as f64
+        runs.iter()
+            .map(RunResult::average_underflow_secs)
+            .sum::<f64>()
+            / runs.len() as f64
     };
     DualEnforcementAblation {
         full_changes: Summary::of(&pooled_changes(&full)),

@@ -40,10 +40,11 @@
 pub mod cell;
 mod config;
 pub mod experiments;
+pub mod faults;
 mod runner;
 pub mod scaling;
 pub mod sweeps;
 pub mod testbed;
 
 pub use config::{ChannelKind, SchedulerKind, SchemeKind, SimConfig, SimConfigBuilder};
-pub use runner::{CellSim, RunResult, VideoFlowResult};
+pub use runner::{CellSim, RobustnessReport, RunResult, VideoFlowResult};

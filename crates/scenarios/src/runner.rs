@@ -3,9 +3,13 @@
 use std::time::Duration;
 
 use flare_abr::avis::AvisAllocator;
-use flare_abr::{BufferBased, Festive, Google, RateBased, SharedAssignment};
-use flare_core::{ClientInfo, FlarePlugin, OneApiServer};
-use flare_has::{Mpd, Player, PlayerStats, RateAdapter};
+use flare_abr::{BufferBased, Festive, Google, RateBased, SharedAssignment, VersionedAssignment};
+use flare_core::messages::StatsReportMsg;
+use flare_core::{
+    ClientInfo, ControlPlane, FaultModel, FlarePlugin, OneApiServer, ResilientPlugin,
+    RobustnessConfig,
+};
+use flare_has::{Level, Mpd, Player, PlayerStats, RateAdapter};
 use flare_lte::channel::{ChannelModel, StaticChannel, TraceChannel, TriangleWave};
 use flare_lte::mobility::{snr_to_itbs, MobilityChannel, Position};
 use flare_lte::scheduler::{
@@ -66,6 +70,29 @@ pub struct DataFlowResult {
     pub average_throughput: Rate,
 }
 
+/// Control-plane and degradation telemetry from a message-path run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessReport {
+    /// Control-plane messages delivered.
+    pub delivered: u64,
+    /// Messages dropped by the loss process.
+    pub dropped: u64,
+    /// Uplink reports lost to server outage windows.
+    pub lost_to_outage: u64,
+    /// Messages held back by the reordering process.
+    pub reordered: u64,
+    /// Client-BAIs spent in fallback mode (summed over clients).
+    pub fallback_bais: u64,
+    /// Assignments rejected as stale/reordered (summed over clients).
+    pub stale_rejections: u64,
+    /// Assignments installed by clients (summed over clients).
+    pub installs: u64,
+    /// GBR leases that expired unrenewed at the eNodeB.
+    pub expired_leases: u64,
+    /// Clients the server evicted for statistics silence.
+    pub evicted_clients: u64,
+}
+
 /// The outcome of one simulated run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -79,6 +106,8 @@ pub struct RunResult {
     pub data: Vec<DataFlowResult>,
     /// Wall-clock solver times, one per BAI (network-side schemes only).
     pub solve_times: Vec<Duration>,
+    /// Control-plane telemetry (message-path FLARE runs only).
+    pub robustness: Option<RobustnessReport>,
 }
 
 impl RunResult {
@@ -156,12 +185,35 @@ impl RunResult {
     }
 }
 
+/// Client-side assignment cells of a message-path FLARE run.
+enum MsgCells {
+    /// Naive: last-write-wins cells, persistent GBRs — the paper's FLARE
+    /// run unchanged over a (possibly faulty) control plane.
+    Naive(Vec<SharedAssignment>),
+    /// Resilient: versioned cells with staleness fallback, GBR leases.
+    Versioned(Vec<VersionedAssignment>),
+}
+
+// One live instance per simulation; the size spread between variants is
+// irrelevant next to boxing noise.
+#[allow(clippy::large_enum_variant)]
 enum Controller {
     None,
     Flare {
         server: OneApiServer,
         cells: Vec<SharedAssignment>,
         gbr_only: bool,
+    },
+    /// FLARE with its coordination loop carried over an explicit (fault-
+    /// injectable) control plane instead of lossless in-process calls.
+    FlareMsg {
+        server: OneApiServer,
+        control: ControlPlane,
+        cells: MsgCells,
+        /// Freshest statistics report delivered to the server so far and
+        /// not yet consumed by a solve.
+        latest_report: Option<StatsReportMsg>,
+        robustness: Option<RobustnessConfig>,
     },
     Avis(AvisAllocator),
 }
@@ -221,7 +273,20 @@ impl CellSim {
         // any trailing `legacy_video` UEs run a conventional FESTIVE player
         // that a FLARE deployment services as plain data traffic.
         let coordinated = config.n_video - config.legacy_video;
+
+        // FLARE runs take the message path (explicit control plane) as soon
+        // as either faults or robustness are configured. With neither, the
+        // legacy in-process path keeps the paper's lossless semantics
+        // bit-for-bit.
+        let robustness = match &config.scheme {
+            SchemeKind::Flare(fc) => fc.robustness,
+            _ => None,
+        };
+        let msg_path = matches!(config.scheme, SchemeKind::Flare(_))
+            && (config.faults.is_some() || robustness.is_some());
+
         let mut cells: Vec<SharedAssignment> = Vec::new();
+        let mut versioned_cells: Vec<VersionedAssignment> = Vec::new();
         let players: Vec<Player> = (0..config.n_video)
             .map(|i| {
                 let adapter: Box<dyn RateAdapter> = if i >= coordinated {
@@ -232,9 +297,15 @@ impl CellSim {
                         SchemeKind::Google => Box::new(Google::default()),
                         SchemeKind::BufferBased => Box::new(BufferBased::default()),
                         SchemeKind::Flare(_) => {
-                            let cell = SharedAssignment::new();
-                            cells.push(cell.clone());
-                            Box::new(FlarePlugin::new(cell)) as Box<dyn RateAdapter>
+                            if let Some(r) = robustness {
+                                let cell = VersionedAssignment::new(r.stale_bais, r.rejoin_bais);
+                                versioned_cells.push(cell.clone());
+                                Box::new(ResilientPlugin::new(cell)) as Box<dyn RateAdapter>
+                            } else {
+                                let cell = SharedAssignment::new();
+                                cells.push(cell.clone());
+                                Box::new(FlarePlugin::new(cell)) as Box<dyn RateAdapter>
+                            }
                         }
                         SchemeKind::FlareGbrOnly(_) | SchemeKind::Avis(_) => {
                             Box::new(RateBased::default())
@@ -246,9 +317,7 @@ impl CellSim {
             .collect();
 
         let controller = match &config.scheme {
-            SchemeKind::Festive | SchemeKind::Google | SchemeKind::BufferBased => {
-                Controller::None
-            }
+            SchemeKind::Festive | SchemeKind::Google | SchemeKind::BufferBased => Controller::None,
             SchemeKind::Flare(fc) | SchemeKind::FlareGbrOnly(fc) => {
                 let gbr_only = matches!(config.scheme, SchemeKind::FlareGbrOnly(_));
                 let mut server = OneApiServer::new(fc.clone().with_bai(config.bai));
@@ -267,13 +336,28 @@ impl CellSim {
                 for &flow in &data_flows {
                     server.register_data(flow);
                 }
-                if gbr_only {
-                    cells.clear();
-                }
-                Controller::Flare {
-                    server,
-                    cells,
-                    gbr_only,
+                if msg_path {
+                    let faults = config.faults.clone().unwrap_or_else(FaultModel::perfect);
+                    Controller::FlareMsg {
+                        server,
+                        control: ControlPlane::new(faults, config.seed),
+                        cells: if robustness.is_some() {
+                            MsgCells::Versioned(versioned_cells)
+                        } else {
+                            MsgCells::Naive(cells)
+                        },
+                        latest_report: None,
+                        robustness,
+                    }
+                } else {
+                    if gbr_only {
+                        cells.clear();
+                    }
+                    Controller::Flare {
+                        server,
+                        cells,
+                        gbr_only,
+                    }
                 }
             }
             SchemeKind::Avis(ac) => Controller::Avis(AvisAllocator::new(ac.clone())),
@@ -376,8 +460,11 @@ impl CellSim {
                         // The request spends a transport-dependent time in
                         // flight before bytes appear at the eNodeB.
                         let delay = self.jitter_rngs[i].gen_range(0..=jitter_ms);
-                        self.pending_requests
-                            .push((tti_end + TimeDelta::from_millis(delay), i, req.bytes));
+                        self.pending_requests.push((
+                            tti_end + TimeDelta::from_millis(delay),
+                            i,
+                            req.bytes,
+                        ));
                     }
                     rate_series[i].push(
                         tti_end.as_secs_f64(),
@@ -414,7 +501,8 @@ impl CellSim {
                 let t = tti_end.as_secs_f64();
                 for i in 0..n_video {
                     buffer_series[i].push(t, self.players[i].buffer_level().as_secs_f64());
-                    video_tput[i].push(t, ByteCount::new(second_bytes[i]).as_bits() as f64 / 1000.0);
+                    video_tput[i]
+                        .push(t, ByteCount::new(second_bytes[i]).as_bits() as f64 / 1000.0);
                     second_bytes[i] = 0;
                 }
                 for i in 0..n_data {
@@ -426,9 +514,25 @@ impl CellSim {
                 }
             }
 
-            // 4. BAI boundary: network-side assignment + enforcement.
+            // 4. Control-plane deliveries (delayed/reordered messages land
+            // between BAIs), then the BAI boundary itself.
+            self.poll_control(tti_end);
             if (ms + 1) % bai_ms == 0 {
                 self.run_bai(tti_end, &mut solve_times);
+                // A perfect (zero-delay) control plane delivers this BAI's
+                // messages within the same tick.
+                self.poll_control(tti_end);
+                // Client-side staleness clocks advance once per BAI, after
+                // all deliveries due in it.
+                if let Controller::FlareMsg {
+                    cells: MsgCells::Versioned(cs),
+                    ..
+                } = &self.controller
+                {
+                    for cell in cs {
+                        cell.end_bai();
+                    }
+                }
             }
         }
 
@@ -455,12 +559,103 @@ impl CellSim {
             })
             .collect();
 
+        let robustness = match &self.controller {
+            Controller::FlareMsg {
+                server,
+                control,
+                cells,
+                ..
+            } => {
+                let cp = control.stats();
+                let (fallback_bais, stale_rejections, installs) = match cells {
+                    MsgCells::Versioned(cs) => cs.iter().fold((0, 0, 0), |acc, c| {
+                        (
+                            acc.0 + c.fallback_bais(),
+                            acc.1 + c.stale_rejections(),
+                            acc.2 + c.installs(),
+                        )
+                    }),
+                    MsgCells::Naive(_) => (0, 0, 0),
+                };
+                Some(RobustnessReport {
+                    delivered: cp.delivered,
+                    dropped: cp.dropped,
+                    lost_to_outage: cp.lost_to_outage,
+                    reordered: cp.reordered,
+                    fallback_bais,
+                    stale_rejections,
+                    installs,
+                    expired_leases: self.enb.expired_lease_count(),
+                    evicted_clients: server.evicted_clients(),
+                })
+            }
+            _ => None,
+        };
+
         RunResult {
             scheme: self.config.scheme.name().to_owned(),
             duration: self.config.duration,
             videos,
             data,
             solve_times,
+            robustness,
+        }
+    }
+
+    /// Delivers every control-plane message due by `now`: reports reach the
+    /// server's inbox, assignments reach the plugins' cells and the eNodeB's
+    /// PCEF. No-op for controllers without a message path.
+    fn poll_control(&mut self, now: Time) {
+        let Controller::FlareMsg {
+            control,
+            cells,
+            latest_report,
+            robustness,
+            ..
+        } = &mut self.controller
+        else {
+            return;
+        };
+        for r in control.recv_reports(now) {
+            // Keep only the freshest interval: a reordered old report must
+            // not overwrite newer counters.
+            if latest_report
+                .as_ref()
+                .is_none_or(|cur| r.end_ms >= cur.end_ms)
+            {
+                *latest_report = Some(r);
+            }
+        }
+        for a in control.recv_assignments(now) {
+            let Some(idx) = self
+                .video_flows
+                .iter()
+                .position(|f| f.index() as u32 == a.flow_id)
+            else {
+                continue;
+            };
+            let flow = self.video_flows[idx];
+            let rate = Rate::from_kbps(f64::from(a.gbr_kbps));
+            let level = Level::new(a.level as usize);
+            match cells {
+                MsgCells::Naive(cs) => {
+                    // Last write wins, GBRs persist — exactly the lossless-
+                    // world behaviour, now exposed to faults.
+                    cs[idx].set(level);
+                    self.enb.set_gbr(flow, Some(rate));
+                }
+                MsgCells::Versioned(cs) => {
+                    // Client and PCEF share the versioned view: a stale
+                    // assignment neither moves the plugin nor touches QoS.
+                    if cs[idx].install(a.seq, a.issued_ms, level) {
+                        let lease_bais = robustness.unwrap_or_default().lease_bais;
+                        let lease = TimeDelta::from_millis(
+                            self.config.bai.as_millis() * u64::from(lease_bais),
+                        );
+                        self.enb.set_gbr_lease(flow, rate, now + lease);
+                    }
+                }
+            }
         }
     }
 
@@ -468,6 +663,47 @@ impl CellSim {
         let report = self.enb.take_report(now);
         match &mut self.controller {
             Controller::None => {}
+            Controller::FlareMsg {
+                server,
+                control,
+                latest_report,
+                robustness,
+                ..
+            } => {
+                let rbs = self.enb.config().rbs_per_tti;
+                let la = self.enb.link_adaptation().clone();
+                // eNodeB -> server: this BAI's statistics, via the (possibly
+                // faulty) control plane.
+                control.send_report(now, StatsReportMsg::from(&report));
+                for r in control.recv_reports(now) {
+                    if latest_report
+                        .as_ref()
+                        .is_none_or(|cur| r.end_ms >= cur.end_ms)
+                    {
+                        *latest_report = Some(r);
+                    }
+                }
+                // Server side: during an outage window the server is down
+                // and issues nothing; clients notice via staleness.
+                if !control.in_outage(now) {
+                    let msgs = if robustness.is_some() {
+                        server.bai_tick(now, latest_report.take().as_ref(), &la, rbs)
+                    } else {
+                        match latest_report.take() {
+                            Some(r) => server.assign_msg(&r, &la, rbs),
+                            None => Vec::new(),
+                        }
+                    };
+                    if !msgs.is_empty() {
+                        if let Some(t) = server.last_solve_time() {
+                            solve_times.push(t);
+                        }
+                        control.send_assignments(now, msgs);
+                    }
+                }
+                // Deliveries due right now are applied by the caller's
+                // poll_control immediately after this returns.
+            }
             Controller::Flare {
                 server,
                 cells,
@@ -532,7 +768,10 @@ mod tests {
         assert!(result.videos[0].stats.segments > 3);
         assert!(result.average_video_rate_kbps() > 0.0);
         assert!(result.average_data_throughput_kbps() > 0.0);
-        assert!(result.solve_times.is_empty(), "client-side scheme never solves");
+        assert!(
+            result.solve_times.is_empty(),
+            "client-side scheme never solves"
+        );
         // 120 s run -> 120 per-second samples.
         assert_eq!(result.videos[0].buffer_series.len(), 120);
         assert_eq!(result.data[0].throughput_series.len(), 120);
@@ -562,7 +801,10 @@ mod tests {
             a.videos[0].rate_series.points(),
             b.videos[0].rate_series.points()
         );
-        assert_eq!(a.data[0].throughput_series.points(), b.data[0].throughput_series.points());
+        assert_eq!(
+            a.data[0].throughput_series.points(),
+            b.data[0].throughput_series.points()
+        );
     }
 
     #[test]
@@ -612,8 +854,7 @@ mod tests {
         let festive_ideal = mk(SchemeKind::Festive, 0);
         let festive_jitter = mk(SchemeKind::Festive, 1500);
         assert!(
-            festive_jitter.average_bitrate_changes()
-                >= festive_ideal.average_bitrate_changes(),
+            festive_jitter.average_bitrate_changes() >= festive_ideal.average_bitrate_changes(),
             "jitter should not stabilize FESTIVE: {} vs {}",
             festive_jitter.average_bitrate_changes(),
             festive_ideal.average_bitrate_changes()
@@ -621,8 +862,7 @@ mod tests {
         let flare_ideal = mk(SchemeKind::Flare(FlareConfig::default()), 0);
         let flare_jitter = mk(SchemeKind::Flare(FlareConfig::default()), 1500);
         assert!(
-            flare_jitter.average_bitrate_changes()
-                <= flare_ideal.average_bitrate_changes() + 1.0,
+            flare_jitter.average_bitrate_changes() <= flare_ideal.average_bitrate_changes() + 1.0,
             "FLARE must stay stable under jitter: {} vs {}",
             flare_jitter.average_bitrate_changes(),
             flare_ideal.average_bitrate_changes()
@@ -676,5 +916,89 @@ mod tests {
     fn jain_index_is_high_for_symmetric_clients() {
         let result = CellSim::new(base(SchemeKind::Flare(FlareConfig::default()))).run();
         assert!(result.jain_of_video_rates() > 0.9);
+    }
+
+    #[test]
+    fn perfect_message_path_matches_legacy_flare_bit_for_bit() {
+        // Routing the coordination loop through a zero-fault control plane
+        // must not change a single decision: the acceptance bar for the
+        // message-path refactor.
+        let legacy = CellSim::new(base(SchemeKind::Flare(FlareConfig::default()))).run();
+        let cfg = SimConfig::builder()
+            .seed(3)
+            .duration(TimeDelta::from_secs(120))
+            .bai(TimeDelta::from_secs(10))
+            .videos(2)
+            .data_flows(1)
+            .channel(ChannelKind::Static { itbs: 10 })
+            .scheme(SchemeKind::Flare(FlareConfig::default()))
+            .faults(flare_core::FaultModel::perfect())
+            .build();
+        let msg = CellSim::new(cfg).run();
+        assert_eq!(msg.scheme, "FLARE");
+        for (a, b) in legacy.videos.iter().zip(&msg.videos) {
+            assert_eq!(a.rate_series.points(), b.rate_series.points());
+            assert_eq!(a.throughput_series.points(), b.throughput_series.points());
+            assert_eq!(a.stats.bitrate_changes, b.stats.bitrate_changes);
+        }
+        assert_eq!(
+            legacy.data[0].throughput_series.points(),
+            msg.data[0].throughput_series.points()
+        );
+        let r = msg.robustness.expect("message path reports telemetry");
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.fallback_bais, 0);
+    }
+
+    #[test]
+    fn resilient_flare_survives_total_control_plane_loss() {
+        let cfg = SimConfig::builder()
+            .seed(3)
+            .duration(TimeDelta::from_secs(200))
+            .bai(TimeDelta::from_secs(10))
+            .videos(2)
+            .data_flows(0)
+            .channel(ChannelKind::Static { itbs: 10 })
+            .scheme(SchemeKind::Flare(
+                FlareConfig::default().with_robustness(flare_core::RobustnessConfig::default()),
+            ))
+            .faults(flare_core::FaultModel::perfect().with_drop_prob(1.0))
+            .build();
+        let result = CellSim::new(cfg).run();
+        assert_eq!(result.scheme, "FLARE-R");
+        let r = result.robustness.unwrap();
+        assert_eq!(r.installs, 0, "nothing can get through");
+        assert!(r.dropped > 0);
+        assert!(r.fallback_bais > 0, "clients must notice the dead loop");
+        // Playback continues on the fallback policy.
+        assert!(result.videos.iter().all(|v| v.stats.segments > 3));
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let mk = || {
+            let cfg = SimConfig::builder()
+                .seed(11)
+                .duration(TimeDelta::from_secs(150))
+                .bai(TimeDelta::from_secs(10))
+                .videos(3)
+                .data_flows(1)
+                .channel(ChannelKind::Static { itbs: 10 })
+                .scheme(SchemeKind::Flare(
+                    FlareConfig::default().with_robustness(flare_core::RobustnessConfig::default()),
+                ))
+                .faults(
+                    flare_core::FaultModel::perfect()
+                        .with_drop_prob(0.3)
+                        .with_jitter(TimeDelta::from_millis(800)),
+                )
+                .build();
+            CellSim::new(cfg).run()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.robustness, b.robustness);
+        for (va, vb) in a.videos.iter().zip(&b.videos) {
+            assert_eq!(va.rate_series.points(), vb.rate_series.points());
+        }
     }
 }

@@ -137,8 +137,7 @@ mod tests {
                 .filter(|(t, _)| *t > 90.0)
                 .map(|(_, rate)| *rate)
                 .collect();
-            let distinct: std::collections::HashSet<u64> =
-                late.iter().map(|r| *r as u64).collect();
+            let distinct: std::collections::HashSet<u64> = late.iter().map(|r| *r as u64).collect();
             assert!(
                 distinct.len() <= 2,
                 "FLARE should be near-constant late in the run: {distinct:?}"
@@ -170,9 +169,7 @@ mod tests {
             festive.average_video_rate_kbps()
         );
         // The flip side: GOOGLE leaves the least throughput for data.
-        assert!(
-            google.average_data_throughput_kbps() < festive.average_data_throughput_kbps()
-        );
+        assert!(google.average_data_throughput_kbps() < festive.average_data_throughput_kbps());
     }
 
     #[test]
@@ -186,7 +183,10 @@ mod tests {
             .iter()
             .map(|(_, rate)| *rate as u64)
             .collect();
-        assert!(distinct.len() >= 2, "dynamic FLARE should adapt: {distinct:?}");
+        assert!(
+            distinct.len() >= 2,
+            "dynamic FLARE should adapt: {distinct:?}"
+        );
     }
 
     #[test]

@@ -89,8 +89,14 @@ mod tests {
 
     #[test]
     fn streams_reproduce() {
-        let a: Vec<u64> = stream(7, "x", 0).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = stream(7, "x", 0).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = stream(7, "x", 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = stream(7, "x", 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -102,7 +108,11 @@ mod tests {
             assert_ne!(v, i);
             seen.insert(v);
         }
-        assert_eq!(seen.len(), 1000, "splitmix64 should be collision-free on small inputs");
+        assert_eq!(
+            seen.len(),
+            1000,
+            "splitmix64 should be collision-free on small inputs"
+        );
     }
 
     #[test]

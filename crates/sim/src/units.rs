@@ -270,7 +270,11 @@ mod tests {
 
     #[test]
     fn rate_min_max_sum() {
-        let rates = [Rate::from_kbps(1.0), Rate::from_kbps(2.0), Rate::from_kbps(3.0)];
+        let rates = [
+            Rate::from_kbps(1.0),
+            Rate::from_kbps(2.0),
+            Rate::from_kbps(3.0),
+        ];
         assert_eq!(rates.iter().copied().sum::<Rate>().as_kbps(), 6.0);
         assert_eq!(rates[0].max(rates[2]), rates[2]);
         assert_eq!(rates[0].min(rates[2]), rates[0]);

@@ -113,7 +113,9 @@ pub fn solve_discrete(spec: &ProblemSpec) -> DiscreteSolution {
         for i in 0..n {
             let f = &spec.flows()[i];
             let candidates = [
-                eval.levels[i].checked_sub(1).filter(|&l| l >= f.min_level()),
+                eval.levels[i]
+                    .checked_sub(1)
+                    .filter(|&l| l >= f.min_level()),
                 Some(eval.levels[i] + 1).filter(|&l| l <= f.max_level()),
             ];
             for cand in candidates.into_iter().flatten() {

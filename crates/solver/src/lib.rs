@@ -50,8 +50,8 @@ mod relaxed;
 mod spec;
 pub mod utility;
 
-pub use discrete::{solve_discrete, solve_exhaustive};
 pub use barrier::{solve_barrier, BarrierOptions};
+pub use discrete::{solve_discrete, solve_exhaustive};
 pub use relaxed::{solve_relaxed, ContinuousSolution};
 pub use spec::{FlowSpec, ProblemSpec, ProblemSpecBuilder, SpecError};
 

@@ -220,7 +220,11 @@ mod tests {
             .unwrap();
         let sol = solve_relaxed(&spec);
         assert!(sol.feasible);
-        assert!((sol.r - 1.0).abs() < 1e-6, "r should hit the cap, got {}", sol.r);
+        assert!(
+            (sol.r - 1.0).abs() < 1e-6,
+            "r should hit the cap, got {}",
+            sol.r
+        );
         assert!((sol.rates[0] - 1600e3).abs() < 1e3, "rate {}", sol.rates[0]);
     }
 
@@ -256,7 +260,10 @@ mod tests {
         };
         let low = mk(0.25);
         let high = mk(4.0);
-        assert!(high.rates[0] < low.rates[0], "higher alpha must lower video rates");
+        assert!(
+            high.rates[0] < low.rates[0],
+            "higher alpha must lower video rates"
+        );
         assert!(high.r < low.r);
     }
 

@@ -42,7 +42,10 @@ impl FlowSpec {
             "ladder must be strictly ascending"
         );
         for v in [beta, theta, weight] {
-            assert!(v.is_finite() && v >= 0.0, "parameters must be finite and non-negative");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "parameters must be finite and non-negative"
+            );
         }
         let max_level = max_level.min(ladder.len() - 1);
         FlowSpec {

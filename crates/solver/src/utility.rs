@@ -74,7 +74,8 @@ mod tests {
     fn marginal_matches_finite_difference() {
         let (beta, theta, r) = (10.0, 200e3, 900e3);
         let h = 1.0;
-        let fd = (video_utility(beta, theta, r + h) - video_utility(beta, theta, r - h)) / (2.0 * h);
+        let fd =
+            (video_utility(beta, theta, r + h) - video_utility(beta, theta, r - h)) / (2.0 * h);
         let an = video_marginal(beta, theta, r);
         assert!((fd - an).abs() / an < 1e-6);
     }

@@ -48,7 +48,10 @@ fn main() {
         .into_iter()
         .map(|s| (s.name().to_owned(), run_static(s, seed)))
         .collect();
-    report("static scenario (iTbs pinned at 2, 10 minutes)", static_runs);
+    report(
+        "static scenario (iTbs pinned at 2, 10 minutes)",
+        static_runs,
+    );
 
     let dynamic_runs: Vec<(String, RunResult)> = schemes()
         .into_iter()

@@ -28,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    persist each UE's iTbs trace as a CSV document.
     let mut paths = Vec::new();
     for ue in 0..n_ues {
-        let trace = generate_trace(&mc, duration, stream(42, "walk", ue), stream(42, "fade", ue));
+        let trace = generate_trace(
+            &mc,
+            duration,
+            stream(42, "walk", ue),
+            stream(42, "fade", ue),
+        );
         let path = dir.join(format!("ue-{ue}.csv"));
         fs::write(&path, trace.to_csv())?;
         paths.push(path);

@@ -15,7 +15,10 @@ use flare_sim::{Time, TimeDelta, TTI};
 #[test]
 fn assigned_level_is_what_the_player_requests() {
     let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
-    let video = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(14))));
+    let video = enb.add_flow(
+        FlowClass::Video,
+        Box::new(StaticChannel::new(Itbs::new(14))),
+    );
     let data = enb.add_flow(FlowClass::Data, Box::new(StaticChannel::new(Itbs::new(14))));
 
     let ladder = BitrateLadder::testbed();
@@ -83,7 +86,10 @@ fn stability_filter_gates_the_live_loop() {
     // delta = 4: with a 10 s BAI, the first climb (into 0-based level 1)
     // needs 4 consecutive recommendations = 40 s.
     let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
-    let video = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(20))));
+    let video = enb.add_flow(
+        FlowClass::Video,
+        Box::new(StaticChannel::new(Itbs::new(20))),
+    );
     enb.push_backlog(video, flare_sim::units::ByteCount::new(u64::MAX / 4));
 
     let ladder = BitrateLadder::simulation();
@@ -105,7 +111,10 @@ fn stability_filter_gates_the_live_loop() {
         levels[..3].iter().all(|&l| l == 0),
         "climbed before the threshold: {levels:?}"
     );
-    assert_eq!(levels[3], 1, "4th consecutive recommendation applies: {levels:?}");
+    assert_eq!(
+        levels[3], 1,
+        "4th consecutive recommendation applies: {levels:?}"
+    );
     assert!(
         levels.contains(&1),
         "never climbed despite a great channel: {levels:?}"
@@ -117,7 +126,10 @@ fn gbr_enforcement_protects_video_from_data_pressure() {
     // A video flow assigned 1100 kbps must actually receive it even with
     // four greedy data flows hammering the cell.
     let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
-    let video = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(10))));
+    let video = enb.add_flow(
+        FlowClass::Video,
+        Box::new(StaticChannel::new(Itbs::new(10))),
+    );
     for _ in 0..4 {
         enb.add_flow(FlowClass::Data, Box::new(StaticChannel::new(Itbs::new(10))));
     }

@@ -52,8 +52,8 @@ fn greedy_data_flow_saturates_leftover_capacity() {
     // One data flow and one low-rate FLARE video: the cell should be almost
     // fully utilized (the video is paced; data soaks up the slack).
     let r = CellSim::new(sim(SchemeKind::Flare(FlareConfig::default()), 8, 1, 1, 120)).run();
-    let total: f64 = r.videos[0].average_throughput.as_kbps()
-        + r.data[0].average_throughput.as_kbps();
+    let total: f64 =
+        r.videos[0].average_throughput.as_kbps() + r.data[0].average_throughput.as_kbps();
     let cap = capacity_kbps(8);
     assert!(
         total >= cap * 0.95,
@@ -65,7 +65,14 @@ fn greedy_data_flow_saturates_leftover_capacity() {
 fn video_only_cell_never_exceeds_demand() {
     // With an excellent channel, players are demand-limited: delivered
     // bytes must not exceed what the selected segments contain.
-    let r = CellSim::new(sim(SchemeKind::Flare(FlareConfig::default()), 20, 2, 0, 120)).run();
+    let r = CellSim::new(sim(
+        SchemeKind::Flare(FlareConfig::default()),
+        20,
+        2,
+        0,
+        120,
+    ))
+    .run();
     for v in &r.videos {
         let demand_kbps = v.stats.average_rate.as_kbps();
         // Delivered throughput averaged over the run can't beat the nominal
@@ -99,7 +106,10 @@ fn all_schemes_make_playback_progress() {
                 v.index,
                 v.stats.segments
             );
-            assert!(v.stats.playback_started_at.is_some(), "{name}: never started");
+            assert!(
+                v.stats.playback_started_at.is_some(),
+                "{name}: never started"
+            );
         }
     }
 }
@@ -121,7 +131,12 @@ fn whole_stack_is_deterministic() {
         SchemeKind::Flare(FlareConfig::default()),
         SchemeKind::Avis(Default::default()),
     ] {
-        assert_eq!(run(scheme.clone()), run(scheme.clone()), "{}", scheme.name());
+        assert_eq!(
+            run(scheme.clone()),
+            run(scheme.clone()),
+            "{}",
+            scheme.name()
+        );
     }
 }
 

@@ -13,7 +13,12 @@ use flare_sim::Time;
 fn cell(itbs: u8, n: usize) -> (ENodeB, Vec<FlowId>) {
     let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
     let flows = (0..n)
-        .map(|_| enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(itbs)))))
+        .map(|_| {
+            enb.add_flow(
+                FlowClass::Video,
+                Box::new(StaticChannel::new(Itbs::new(itbs))),
+            )
+        })
         .collect();
     (enb, flows)
 }
@@ -63,15 +68,16 @@ fn one_server_drives_two_cells_end_to_end() {
         for a in &last_b {
             enb_b.set_gbr(a.flow, Some(a.rate));
         }
-        b_history.push(
-            last_b.iter().map(|a| a.level.index()).max().unwrap_or(0),
-        );
+        b_history.push(last_b.iter().map(|a| a.level.index()).max().unwrap_or(0));
     }
 
     // The light cell saturates the ladder; the crowded one cannot.
     let max_a = last_a.iter().map(|a| a.level.index()).max().unwrap();
     let max_b = last_b.iter().map(|a| a.level.index()).max().unwrap();
-    assert!(max_b > max_a, "light cell {max_b} must out-level crowded cell {max_a}");
+    assert!(
+        max_b > max_a,
+        "light cell {max_b} must out-level crowded cell {max_a}"
+    );
     assert_eq!(max_b, 5, "light cell should reach the ladder top");
 
     // Independence: re-running cell B alone, with no cell A registered,
@@ -90,7 +96,13 @@ fn one_server_drives_two_cells_end_to_end() {
         for a in &assignments {
             enb_b2.set_gbr(a.flow, Some(a.rate));
         }
-        solo_history.push(assignments.iter().map(|a| a.level.index()).max().unwrap_or(0));
+        solo_history.push(
+            assignments
+                .iter()
+                .map(|a| a.level.index())
+                .max()
+                .unwrap_or(0),
+        );
     }
     assert_eq!(b_history, solo_history, "cells must be fully independent");
 }

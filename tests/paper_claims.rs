@@ -36,11 +36,22 @@ fn claim_flare_is_most_stable_in_static_cells() {
     let a = mean(&pooled_changes(&avis));
     let e = mean(&pooled_changes(&festive));
     let ramp_allowance = 4.0;
-    assert!(f <= a + ramp_allowance, "FLARE changes {f:.1} vs AVIS {a:.1}");
-    assert!(f <= e + ramp_allowance, "FLARE changes {f:.1} vs FESTIVE {e:.1}");
+    assert!(
+        f <= a + ramp_allowance,
+        "FLARE changes {f:.1} vs AVIS {a:.1}"
+    );
+    assert!(
+        f <= e + ramp_allowance,
+        "FLARE changes {f:.1} vs FESTIVE {e:.1}"
+    );
     // And FLARE never pays the QoE price the others do.
     assert!(
-        mean(&flare.iter().map(|r| r.average_underflow_secs()).collect::<Vec<_>>()) == 0.0,
+        mean(
+            &flare
+                .iter()
+                .map(|r| r.average_underflow_secs())
+                .collect::<Vec<_>>()
+        ) == 0.0,
         "FLARE must not stall"
     );
 }
@@ -97,8 +108,7 @@ fn claim_google_rebuffers_or_overreaches_in_the_testbed() {
         google.average_video_rate_kbps(),
         festive.average_video_rate_kbps()
     );
-    let google_pain =
-        google.average_bitrate_changes() + google.average_underflow_secs();
+    let google_pain = google.average_bitrate_changes() + google.average_underflow_secs();
     let flare_pain = flare.average_bitrate_changes() + flare.average_underflow_secs();
     assert!(
         google_pain > flare_pain,

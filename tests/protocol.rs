@@ -12,7 +12,10 @@ use flare_sim::Time;
 
 fn cell_with_video(itbs: u8) -> (ENodeB, flare_lte::FlowId) {
     let mut enb = ENodeB::new(CellConfig::default(), Box::new(TwoPhaseGbr::default()));
-    let video = enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(itbs))));
+    let video = enb.add_flow(
+        FlowClass::Video,
+        Box::new(StaticChannel::new(Itbs::new(itbs))),
+    );
     enb.push_backlog(video, ByteCount::new(u64::MAX / 4));
     (enb, video)
 }

@@ -3,13 +3,19 @@
 //! flow's bitrate if necessary ... e.g., several new clients enter the
 //! system").
 
-use flare_core::{ClientInfo, FlareConfig, OneApiServer};
-use flare_has::BitrateLadder;
+use flare_abr::{CoordinationMode, VersionedAssignment};
+use flare_core::{
+    ClientInfo, FaultModel, FlareConfig, OneApiServer, OutageWindow, ResilientPlugin,
+    RobustnessConfig,
+};
+use flare_has::{AdaptContext, BitrateLadder, DownloadSample, Level, RateAdapter};
 use flare_lte::channel::{StaticChannel, TraceChannel};
 use flare_lte::scheduler::TwoPhaseGbr;
 use flare_lte::{CellConfig, ENodeB, FlowClass, FlowId, Itbs};
+use flare_scenarios::{CellSim, SchemeKind, SimConfig};
 use flare_sim::units::ByteCount;
-use flare_sim::Time;
+use flare_sim::{Time, TimeDelta};
+use proptest::prelude::*;
 
 fn keep_backlogged(enb: &mut ENodeB, flows: &[FlowId]) {
     for &f in flows {
@@ -42,7 +48,12 @@ fn channel_blackout_cuts_the_victim_but_not_to_zero() {
     ]);
     let victim = enb.add_flow(FlowClass::Video, Box::new(victim_trace));
     let others: Vec<FlowId> = (0..3)
-        .map(|_| enb.add_flow(FlowClass::Video, Box::new(StaticChannel::new(Itbs::new(18)))))
+        .map(|_| {
+            enb.add_flow(
+                FlowClass::Video,
+                Box::new(StaticChannel::new(Itbs::new(18))),
+            )
+        })
         .collect();
     let mut all = vec![victim];
     all.extend(&others);
@@ -71,7 +82,10 @@ fn channel_blackout_cuts_the_victim_but_not_to_zero() {
     }
 
     let peak_before = *victim_levels[..12].iter().max().unwrap();
-    assert!(peak_before >= 2, "victim should climb before the blackout: {victim_levels:?}");
+    assert!(
+        peak_before >= 2,
+        "victim should climb before the blackout: {victim_levels:?}"
+    );
     // Within two BAIs of the collapse (one to observe, one to act) the
     // victim is cut below its peak and stays there for the blackout.
     let during = &victim_levels[14..24];
@@ -161,6 +175,222 @@ fn client_churn_drops_incumbents_promptly() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Control-plane faults: the coordination loop itself misbehaves.
+// ---------------------------------------------------------------------------
+
+/// A download that observed `kbps` over one second.
+fn observed(kbps: u64) -> DownloadSample {
+    DownloadSample {
+        completed_at: Time::from_secs(1),
+        level: Level::new(0),
+        bytes: ByteCount::new(kbps * 1000 / 8),
+        elapsed: TimeDelta::from_secs(1),
+    }
+}
+
+#[test]
+fn dropped_assignments_trigger_fallback_and_hysteresis_rejoins() {
+    // The plugin-side state machine end to end: a client obeys fresh
+    // assignments, degrades to capped self-adaptation when assignments
+    // stop arriving, and rejoins only after a hysteresis streak.
+    let cell = VersionedAssignment::new(3, 2);
+    let mut plugin = ResilientPlugin::new(cell.clone());
+    let ladder = BitrateLadder::simulation();
+    let ctx = AdaptContext {
+        now: Time::from_secs(50),
+        ladder: &ladder,
+        buffer_level: TimeDelta::from_secs(30),
+        last_level: Some(Level::new(0)),
+        segment_duration: TimeDelta::from_secs(10),
+        segment_index: 5,
+    };
+
+    // Fresh assignment: obeyed verbatim.
+    cell.install(1, 0, Level::new(3));
+    cell.end_bai();
+    assert_eq!(cell.mode(), CoordinationMode::Coordinated);
+    assert_eq!(plugin.next_level(&ctx), Level::new(3));
+
+    // The estimator has seen plenty of bandwidth, so once coordination is
+    // lost the cap — not the estimate — must bind.
+    for _ in 0..5 {
+        plugin.on_download_complete(observed(5000));
+    }
+    cell.end_bai();
+    cell.end_bai();
+    assert_eq!(cell.mode(), CoordinationMode::Coordinated);
+    cell.end_bai(); // third silent BAI: stale
+    assert_eq!(cell.mode(), CoordinationMode::Fallback);
+    assert_eq!(
+        plugin.next_level(&ctx),
+        Level::new(3),
+        "fallback must cap at the last assigned level even with a rich estimate"
+    );
+
+    // One fresh assignment is not enough to rejoin (hysteresis)…
+    cell.install(2, 40_000, Level::new(4));
+    cell.end_bai();
+    assert_eq!(cell.mode(), CoordinationMode::Fallback);
+    // …a second consecutive fresh BAI restores coordination.
+    cell.install(3, 50_000, Level::new(4));
+    cell.end_bai();
+    assert_eq!(cell.mode(), CoordinationMode::Coordinated);
+    assert_eq!(plugin.next_level(&ctx), Level::new(4));
+}
+
+#[test]
+fn server_outage_forces_fallback_and_expires_gbr_leases() {
+    // A 60 s OneAPI outage in the middle of the run: reports due in the
+    // window are lost, no assignments are issued, every client goes stale,
+    // and the leased GBRs lapse at the eNodeB (freeing those RBs for
+    // best-effort scheduling) — yet playback survives and coordination
+    // resumes after the server returns.
+    let outage = OutageWindow::new(Time::from_secs(100), Time::from_secs(160));
+    let config = SimConfig::builder()
+        .seed(5)
+        .duration(TimeDelta::from_secs(260))
+        .videos(4)
+        .data_flows(2)
+        .scheme(SchemeKind::Flare(
+            FlareConfig::default().with_robustness(RobustnessConfig::default()),
+        ))
+        .faults(FaultModel::perfect().with_outage(outage))
+        .build();
+    let r = CellSim::new(config).run();
+    let rb = r.robustness.expect("FLARE-R must report telemetry");
+
+    assert!(
+        rb.lost_to_outage > 0,
+        "uplink reports in the window are lost"
+    );
+    assert!(rb.fallback_bais >= 4, "every client must fall back: {rb:?}");
+    assert!(
+        rb.expired_leases >= 4,
+        "each video flow's lease must lapse during the outage: {rb:?}"
+    );
+    // Hysteresis recovery: fallback is an episode, not the steady state.
+    // 26 BAIs x 4 clients; the outage covers ~6 of them per client.
+    assert!(
+        rb.fallback_bais <= 4 * 12,
+        "clients must rejoin after the outage: {rb:?}"
+    );
+    assert!(rb.installs > 0, "coordination must resume after the outage");
+    for v in &r.videos {
+        assert!(
+            v.stats.average_rate.as_kbps() > 0.0,
+            "playback must survive the outage"
+        );
+    }
+    for d in &r.data {
+        assert!(d.average_throughput.as_kbps() > 0.0);
+    }
+}
+
+#[test]
+fn reordered_assignments_are_rejected_not_rolled_back() {
+    // Half of all messages are held back 15 s — past the next BAI — so
+    // newer assignments regularly overtake older ones. The versioned cell
+    // must reject the late arrivals instead of rolling clients back.
+    let config = SimConfig::builder()
+        .seed(9)
+        .duration(TimeDelta::from_secs(300))
+        .videos(4)
+        .scheme(SchemeKind::Flare(
+            FlareConfig::default().with_robustness(RobustnessConfig::default()),
+        ))
+        .faults(
+            FaultModel::perfect()
+                .with_reorder_prob(0.5)
+                .with_reorder_delay(TimeDelta::from_secs(15)),
+        )
+        .build();
+    let r = CellSim::new(config).run();
+    let rb = r.robustness.expect("FLARE-R must report telemetry");
+    assert!(
+        rb.reordered > 0,
+        "the fault model must reorder messages: {rb:?}"
+    );
+    assert!(
+        rb.stale_rejections > 0,
+        "overtaken assignments must be rejected as stale: {rb:?}"
+    );
+    assert!(
+        rb.installs > 0,
+        "in-order assignments still install: {rb:?}"
+    );
+    for v in &r.videos {
+        assert!(v.stats.average_rate.as_kbps() > 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// While a lease is live (i.e. in fallback, bounded by the last leased
+    /// assignment), the plugin never requests a level above it — no matter
+    /// what the estimator has seen or how full the buffer is.
+    #[test]
+    fn fallback_never_requests_above_the_last_leased_level(
+        cap in 0usize..6,
+        rates in prop::collection::vec(50u64..10_000, 1..8),
+        buffer_secs in 0u64..60,
+    ) {
+        let cell = VersionedAssignment::new(1, 1);
+        let mut plugin = ResilientPlugin::new(cell.clone());
+        cell.install(1, 0, Level::new(cap));
+        cell.end_bai(); // consumes the install as fresh
+        cell.end_bai(); // silent -> stale -> fallback
+        prop_assert_eq!(cell.mode(), CoordinationMode::Fallback);
+        for r in &rates {
+            plugin.on_download_complete(observed(*r));
+        }
+        let ladder = BitrateLadder::simulation();
+        let ctx = AdaptContext {
+            now: Time::from_secs(100),
+            ladder: &ladder,
+            buffer_level: TimeDelta::from_secs(buffer_secs),
+            last_level: Some(Level::new(0)),
+            segment_duration: TimeDelta::from_secs(10),
+            segment_index: 7,
+        };
+        let level = plugin.next_level(&ctx);
+        prop_assert!(
+            level.index() <= cap,
+            "fallback level {} exceeds leased cap {}", level.index(), cap
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The fault-injected simulation is a pure function of its seed: two
+    /// identically configured runs agree on every counter and sample.
+    #[test]
+    fn faulty_cellsim_is_deterministic_per_seed(seed in 1u64..500, drop_pct in 0u32..80) {
+        let build = || SimConfig::builder()
+            .seed(seed)
+            .duration(TimeDelta::from_secs(80))
+            .videos(2)
+            .scheme(SchemeKind::Flare(
+                FlareConfig::default().with_robustness(RobustnessConfig::default()),
+            ))
+            .faults(
+                FaultModel::perfect()
+                    .with_drop_prob(f64::from(drop_pct) / 100.0)
+                    .with_jitter(TimeDelta::from_millis(500)),
+            )
+            .build();
+        let a = CellSim::new(build()).run();
+        let b = CellSim::new(build()).run();
+        prop_assert_eq!(a.robustness, b.robustness);
+        for (va, vb) in a.videos.iter().zip(&b.videos) {
+            prop_assert_eq!(va.rate_series.points(), vb.rate_series.points());
+        }
+    }
+}
+
 #[test]
 fn overloaded_cell_starves_gracefully() {
     // Eight clients all at iTbs 0: the whole cell carries 1.6 Mbps, a fair
@@ -192,7 +422,10 @@ fn overloaded_cell_starves_gracefully() {
             enb.set_gbr(a.flow, Some(a.rate));
         }
         // The packed assignment must respect the 1.6 Mbps cell.
-        assert!(budget <= 1600.0 + 1.0, "assignment overshoots capacity: {budget}");
+        assert!(
+            budget <= 1600.0 + 1.0,
+            "assignment overshoots capacity: {budget}"
+        );
     }
     // The cell still moved bytes — 50 RBs/TTI at 32 bits/RB = 1.6 Mbps
     // (phase-2 PF tops flows up beyond their GBR, so the cell runs full).

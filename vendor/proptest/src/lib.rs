@@ -1,0 +1,551 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so this
+//! vendored crate implements the subset of the proptest API the workspace
+//! uses: the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros,
+//! numeric range and `prop::collection::vec` strategies, tuple composition,
+//! [`test_runner::TestRunner`], and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream worth knowing about:
+//!
+//! * Cases are generated from a *fixed* seed derived from the test body's
+//!   source location, so failures reproduce exactly — there is no
+//!   persistence file and no environment-variable seeding.
+//! * There is no shrinking: a failing case reports the inputs that failed
+//!   as generated.
+//! * The default case count is 64 (upstream: 256), keeping `cargo test`
+//!   latency manageable for the heavier simulation-driven properties.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// How many cases [`ProptestConfig::default`] runs.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Test-suite configuration (the subset upstream `ProptestConfig` exposes
+/// that this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic generator behind every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+
+    /// The next 64 raw bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, span)`.
+    pub fn below(&mut self, span: u128) -> u128 {
+        assert!(span > 0, "span must be positive");
+        ((u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())) % span
+    }
+}
+
+/// Hashes a string (FNV-1a) — used to derive per-test seeds from source
+/// locations so every property has its own reproducible stream.
+pub fn seed_for(tag: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in tag.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                (self.start as i128).wrapping_add(rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128).wrapping_sub(start as i128) as u128 + 1;
+                (start as i128).wrapping_add(rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                start + (rng.unit_f64() as $t) * (end - start)
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+/// A strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The number of elements a collection strategy produces.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// lengths are uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u128;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test execution: the engine behind [`proptest!`] and the standalone
+/// [`test_runner::TestRunner`].
+pub mod test_runner {
+    use super::{ProptestConfig, Strategy, TestRng};
+    use std::fmt;
+
+    /// Why one generated case failed.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failed assertion/requirement with the given explanation.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+
+        /// The explanation.
+        pub fn message(&self) -> &str {
+            &self.0
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Re-export so `test_runner::Config`-style call sites work.
+    pub type Config = ProptestConfig;
+
+    /// Runs a strategy against a property closure for the configured number
+    /// of cases.
+    #[derive(Debug, Default)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// A runner with explicit configuration.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `test` against `cases` values drawn from `strategy`.
+        /// Returns the first failure, formatted with the failing input.
+        pub fn run<S: Strategy, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+        where
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut rng = TestRng::from_seed(super::seed_for("proptest::TestRunner"));
+            for case in 0..self.config.cases {
+                let value = strategy.generate(&mut rng);
+                let repr = format!("{value:?}");
+                if let Err(e) = test(value) {
+                    return Err(format!(
+                        "property failed on case {case}/{}: {e}\n  input: {repr}",
+                        self.config.cases
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, failing the *case* (with its
+/// inputs reported) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Internal: applies a property closure to one generated value. Routing the
+/// call through a generic `fn` (instead of invoking a closure literal
+/// directly) lets the closure's argument type be inferred from `value`,
+/// which keeps method calls inside property bodies type-checkable.
+#[doc(hidden)]
+pub fn __run_case<V, F>(value: V, property: F) -> Result<(), test_runner::TestCaseError>
+where
+    F: FnOnce(V) -> Result<(), test_runner::TestCaseError>,
+{
+    property(value)
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // With a leading #![proptest_config(...)] attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($config; $($rest)*);
+    };
+    // Without configuration: default config.
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal: expands each property function; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($config:expr;) => {};
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        // Callers write `#[test]` themselves (as with the real proptest),
+        // so attributes pass through rather than being added here.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::from_seed($crate::seed_for(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            for case in 0..config.cases {
+                let generated = ($($crate::Strategy::generate(&($strategy), &mut rng),)+);
+                let repr = format!("{generated:?}");
+                let result = $crate::__run_case(generated, |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "property {} failed on case {case}/{}: {e}\n  inputs: {repr}",
+                        stringify!($name),
+                        config.cases
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!($config; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (0.5f64..2.5).generate(&mut rng);
+            assert!((0.5..2.5).contains(&w));
+            let x = (10i64..=12).generate(&mut rng);
+            assert!((10..=12).contains(&x));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let s = collection::vec(0u32..5, 2..6);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn runner_reports_failures_with_input() {
+        let mut runner = test_runner::TestRunner::default();
+        let err = runner
+            .run(&(0u8..10), |v| {
+                prop_assert!(v < 5, "too big: {v}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.contains("too big"), "{err}");
+        assert!(err.contains("input:"), "{err}");
+    }
+
+    #[test]
+    fn runner_accepts_tuples() {
+        let mut runner = test_runner::TestRunner::default();
+        runner
+            .run(&(0u8..10, 0.0f64..1.0), |(a, b)| {
+                prop_assert!(a < 10);
+                prop_assert!((0.0..1.0).contains(&b));
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_and_checks(a in 0u32..100, v in prop::collection::vec(1u8..4, 1..10)) {
+            prop_assert!(a < 100);
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v.len(), v.iter().map(|_| 1usize).sum::<usize>());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_respects_config(x in 0u8..=255) {
+            prop_assume!(x > 0);
+            prop_assert!(u16::from(x) <= 255);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_context() {
+        mod inner {
+            #[allow(unused_imports)]
+            use crate::prelude::*;
+            proptest! {
+                #[test]
+                fn always_fails(x in 0u8..10) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            pub fn run() {
+                always_fails();
+            }
+        }
+        inner::run();
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real derives generate `impl Serialize`/`impl Deserialize` bodies;
+//! this workspace's vendored `serde` defines those traits with blanket
+//! implementations (see `vendor/serde`), so the derives here only need to
+//! *exist* for `#[derive(Serialize, Deserialize)]` to keep compiling. They
+//! deliberately emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the vendored `serde::Serialize` trait is
+/// blanket-implemented, so there is nothing to generate.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the vendored `serde::Deserialize` trait is
+/// blanket-implemented, so there is nothing to generate.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no crates.io access. The
+//! workspace uses serde only to mark its wire-protocol and metrics types as
+//! serializable (`#[derive(Serialize, Deserialize)]`); nothing actually
+//! serializes through serde at runtime. This shim therefore provides the
+//! two trait names with blanket implementations, plus no-op derive macros,
+//! so the annotations keep compiling and keep documenting intent.
+//!
+//! If real serialization is ever needed offline, the hand-rolled encoders
+//! live next to the types themselves (see `flare_core::messages`).
+
+#![forbid(unsafe_code)]
+
+/// Marker: the type is part of a serializable schema.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: the type can be reconstructed from its serialized form.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
