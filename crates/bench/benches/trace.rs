@@ -1,0 +1,130 @@
+//! Overhead of the trace recorder on the hot paths it instruments.
+//!
+//! The acceptance bar for `flare-trace` is that a *disabled* handle keeps
+//! the per-TTI MAC path and the per-BAI solve path within noise of the
+//! uninstrumented baseline, and that a registry-only handle (the default
+//! every `CellSim` run carries) stays cheap. The recording configurations
+//! quantify what full event capture costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flare_core::{ClientInfo, FlareConfig, OneApiServer};
+use flare_has::BitrateLadder;
+use flare_lte::channel::StaticChannel;
+use flare_lte::scheduler::PrioritySetScheduler;
+use flare_lte::{CellConfig, ENodeB, FlowClass, Itbs};
+use flare_sim::units::{ByteCount, Rate};
+use flare_sim::Time;
+use flare_trace::{Category, TraceConfig, TraceHandle};
+use std::hint::black_box;
+
+/// The recorder configurations under comparison.
+fn handles() -> Vec<(&'static str, TraceHandle)> {
+    vec![
+        ("disabled", TraceHandle::disabled()),
+        ("registry", TraceHandle::registry_only()),
+        ("info", TraceHandle::new(TraceConfig::info())),
+        ("debug", TraceHandle::new(TraceConfig::debug())),
+    ]
+}
+
+fn build_cell(
+    trace: TraceHandle,
+    n_video: usize,
+    n_data: usize,
+) -> (ENodeB, Vec<flare_lte::FlowId>) {
+    let mut enb = ENodeB::new(
+        CellConfig::default(),
+        Box::new(PrioritySetScheduler::default()),
+    );
+    enb.set_trace(trace);
+    let mut videos = Vec::new();
+    for i in 0..n_video {
+        let f = enb.add_flow(
+            FlowClass::Video,
+            Box::new(StaticChannel::new(Itbs::new((4 + i % 20) as u8))),
+        );
+        enb.set_gbr(f, Some(Rate::from_kbps(500.0)));
+        enb.push_backlog(f, ByteCount::new(u64::MAX / 4));
+        videos.push(f);
+    }
+    for i in 0..n_data {
+        // Data flows are modelled as always-backlogged; no push needed.
+        enb.add_flow(
+            FlowClass::Data,
+            Box::new(StaticChannel::new(Itbs::new((2 + i % 24) as u8))),
+        );
+    }
+    (enb, videos)
+}
+
+/// Per-TTI MAC scheduling with each recorder configuration attached.
+fn bench_tti(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_tti");
+    group.sample_size(20);
+    for (name, handle) in handles() {
+        group.bench_function(name, |b| {
+            let (mut enb, _) = build_cell(handle.clone(), 4, 4);
+            let mut ms = 0u64;
+            b.iter(|| {
+                let out = enb.step_tti(Time::from_millis(ms));
+                ms += 1;
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Per-BAI solve (statistics report in, assignments out) per configuration.
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_solve");
+    group.sample_size(20);
+    for (name, handle) in handles() {
+        group.bench_function(name, |b| {
+            let (mut enb, flows) = build_cell(handle.clone(), 8, 0);
+            let mut server = OneApiServer::new(FlareConfig::default());
+            server.set_trace(handle.clone());
+            for &f in &flows {
+                server.register_video(ClientInfo::new(f, BitrateLadder::simulation()));
+            }
+            for ms in 0..1000 {
+                enb.step_tti(Time::from_millis(ms));
+            }
+            let report = enb.take_report(Time::from_millis(1000));
+            let la = enb.link_adaptation().clone();
+            b.iter(|| black_box(server.assign(&report, &la, 50)));
+        });
+    }
+    group.finish();
+}
+
+/// Raw event-record throughput and JSONL export.
+fn bench_record_export(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_record");
+    group.sample_size(20);
+    for (name, handle) in handles() {
+        group.bench_function(name, |b| {
+            let mut t = 0u64;
+            b.iter(|| {
+                handle.record(Time::from_millis(t), Category::Solver, "bench", |e| {
+                    e.u64("i", t).f64("x", 0.5).str("tag", "payload");
+                });
+                t += 1;
+            });
+        });
+    }
+    group.finish();
+
+    let handle = TraceHandle::new(TraceConfig::debug());
+    for t in 0..10_000u64 {
+        handle.record(Time::from_millis(t), Category::Mac, "tti", |e| {
+            e.u64("rbs", 50).u64("sched", 8).u64("flows", 8);
+        });
+    }
+    c.bench_function("trace_export_jsonl_10k", |b| {
+        b.iter(|| black_box(handle.to_jsonl()))
+    });
+}
+
+criterion_group!(benches, bench_tti, bench_solve, bench_record_export);
+criterion_main!(benches);

@@ -1,86 +1,121 @@
-//! Diagnostic: trace one FLARE cell run BAI by BAI.
+//! Trace inspector: digest a recorded structured trace, or run one traced
+//! FLARE cell scenario live and digest that.
 //!
 //! ```text
-//! cargo run --release -p flare-bench --bin inspect -- [static|mobile] [secs]
+//! inspect [static|mobile] [secs] [--emit FILE]   run live, digest the trace
+//! inspect --trace FILE                           digest a recorded JSONL trace
 //! ```
+//!
+//! The digest shows per-category event counts, the solver's BAI-by-BAI
+//! timeline (chosen `r`, search steps, objective), and — for live runs —
+//! the end-of-run registry summary. Recorded traces come from
+//! `repro --trace DIR` or [`flare_trace::TraceHandle::to_jsonl`].
 
-use flare_core::{ClientInfo, FlareConfig, OneApiServer};
-use flare_has::BitrateLadder;
-use flare_lte::channel::{ChannelModel, StaticChannel};
-use flare_lte::mobility::{snr_to_itbs, MobilityChannel, MobilityConfig, Position};
-use flare_lte::scheduler::PrioritySetScheduler;
-use flare_lte::{CellConfig, ENodeB, FlowClass};
-use flare_sim::rng::{standard_normal, stream};
-use flare_sim::units::ByteCount;
-use flare_sim::Time;
-use rand::Rng;
+use std::collections::BTreeMap;
+
+use flare_scenarios::experiments::ExperimentParams;
+use flare_scenarios::tracing::representative_trace;
+use flare_sim::TimeDelta;
+use flare_trace::{Category, TraceEvent, Value};
+
+/// Prints per-category/event counts and the solver timeline.
+fn digest(events: &[TraceEvent]) {
+    if events.is_empty() {
+        println!("trace is empty");
+        return;
+    }
+    let first = events.first().expect("non-empty").time_ms;
+    let last = events.last().expect("non-empty").time_ms;
+    println!(
+        "{} events spanning {:.1} s of simulated time",
+        events.len(),
+        (last.saturating_sub(first)) as f64 / 1000.0
+    );
+
+    let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for ev in events {
+        *counts.entry((ev.category.as_str(), &ev.name)).or_default() += 1;
+    }
+    println!("\nevent counts:");
+    for ((cat, name), n) in &counts {
+        println!("  {cat:>8}/{name:<16} {n:>8}");
+    }
+
+    let solves: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.category == Category::Solver && e.name == "solve")
+        .collect();
+    if !solves.is_empty() {
+        println!("\nsolver timeline (one line per BAI):");
+        for ev in solves {
+            let field = |k: &str| {
+                ev.field(k)
+                    .map_or_else(|| "-".to_owned(), |v: &Value| v.to_string())
+            };
+            println!(
+                "  t={:>7.1}s clients={} r={} steps={} mode={} objective={}",
+                ev.time_ms as f64 / 1000.0,
+                field("clients"),
+                field("r"),
+                field("steps"),
+                field("mode"),
+                field("objective"),
+            );
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mobile = args.first().map(String::as_str) == Some("mobile");
-    let secs: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
-    let seed = 1;
-    let n_video = 8;
 
-    let mc = MobilityConfig::default();
-    let mut enb = ENodeB::new(
-        CellConfig::default(),
-        Box::new(PrioritySetScheduler::default()),
-    );
-    let mut flows = Vec::new();
-    for ue in 0..n_video {
-        let ch: Box<dyn ChannelModel> = if mobile {
-            Box::new(MobilityChannel::new(
-                mc.clone(),
-                stream(seed, "walk", ue),
-                stream(seed, "fade", ue),
-            ))
-        } else {
-            let mut rng = stream(seed, "position", ue);
-            let pos = Position {
-                x: rng.gen::<f64>() * mc.area.0,
-                y: rng.gen::<f64>() * mc.area.1,
-            };
-            let enb_pos = Position {
-                x: 1000.0,
-                y: 1000.0,
-            };
-            let shadow = standard_normal(&mut rng) * mc.propagation.shadowing_sigma_db;
-            let snr = mc.propagation.mean_snr_db(pos.distance_to(enb_pos)) + shadow;
-            Box::new(StaticChannel::new(snr_to_itbs(snr)))
+    // Replay mode: digest a recorded trace file.
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let path = args.get(pos + 1).expect("--trace needs a file");
+        let text = std::fs::read_to_string(path).expect("read trace file");
+        let events = match flare_trace::parse_jsonl(&text) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
         };
-        flows.push(enb.add_flow(FlowClass::Video, ch));
+        println!("trace: {path}");
+        digest(&events);
+        return;
     }
 
-    let ladder = BitrateLadder::simulation();
-    let mut server = OneApiServer::new(FlareConfig::default());
-    for &f in &flows {
-        server.register_video(ClientInfo::new(f, ladder.clone()));
-    }
-    // Keep every flow fully backlogged so the MAC statistics reflect pure
-    // channel capability (isolates the solver from player pacing).
-    for &f in &flows {
-        enb.push_backlog(f, ByteCount::new(u64::MAX / 4));
-    }
+    // Live mode: one representative traced cell run.
+    let mobile = args.first().map(String::as_str) == Some("mobile");
+    let secs: u64 = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let emit = args
+        .iter()
+        .position(|a| a == "--emit")
+        .map(|i| args.get(i + 1).expect("--emit needs a file").clone());
 
-    for bai in 0..secs / 10 {
-        for ms in bai * 10_000..(bai + 1) * 10_000 {
-            enb.step_tti(Time::from_millis(ms));
-        }
-        let report = enb.take_report(Time::from_millis((bai + 1) * 10_000));
-        let la = enb.link_adaptation().clone();
-        let assignments = server.assign(&report, &la, 50);
-        let levels: Vec<usize> = assignments.iter().map(|a| a.level.index()).collect();
-        let itbs: Vec<u8> = report.flows.iter().map(|f| f.itbs.index()).collect();
-        let eff: Vec<i64> = report
-            .flows
-            .iter()
-            .map(|f| f.bytes_per_rb().map(|b| (b * 8.0) as i64).unwrap_or(-1))
-            .collect();
-        let total_rbs = report.total_rbs();
-        for a in assignments {
-            enb.set_gbr(a.flow, Some(a.rate));
-        }
-        println!("bai {bai:>3}: levels {levels:?} itbs {itbs:?} bits/rb {eff:?} rbs {total_rbs}");
+    let mut params = ExperimentParams::quick();
+    params.duration = TimeDelta::from_secs(secs);
+    params.testbed_duration = TimeDelta::from_secs(secs);
+    let experiment = if mobile { "fig7" } else { "fig6" };
+    let artifact =
+        representative_trace(experiment, &params).expect("fig6/fig7 are always traceable");
+
+    println!(
+        "live {} run ({} s, scheme {})",
+        if mobile { "mobile" } else { "static" },
+        secs,
+        artifact.scheme
+    );
+    let events = flare_trace::parse_jsonl(&artifact.jsonl).expect("own trace must parse");
+    digest(&events);
+    println!("\nregistry:\n{}", artifact.summary);
+
+    if let Some(path) = emit {
+        std::fs::write(&path, &artifact.jsonl).expect("write trace file");
+        eprintln!("wrote {} events to {path}", artifact.events);
     }
 }

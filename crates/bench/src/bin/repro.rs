@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--runs N] [--secs S] [--seed K] <experiment>...
+//! repro [--quick] [--runs N] [--secs S] [--seed K] [--trace DIR] <experiment>...
 //!
 //! experiments:
 //!   table1 table2        testbed scenario summaries
@@ -19,8 +19,12 @@
 //! With no sizing flags the paper's scale is used (20 runs × 1200 s cell
 //! simulations — several minutes in release). `--quick` shrinks everything
 //! for a smoke pass.
+//!
+//! `--trace DIR` additionally re-runs one representative configuration of
+//! each requested experiment with a structured trace recorder attached and
+//! writes `DIR/<experiment>.jsonl` (inspect it with `inspect --trace`).
 
-use flare_bench::parse_params;
+use flare_bench::parse_cli;
 use flare_scenarios::experiments::{
     ablation_diversity, ablation_dual_enforcement, ablation_static_partition, fig10, fig11, fig12,
     fig4, fig5, fig6, fig7, fig8, fig9, legacy_coexistence, table1, table2, ExperimentParams,
@@ -73,24 +77,49 @@ const ALL: &[&str] = &[
     "faults",
 ];
 
+/// Writes the representative trace of `name` to `dir/<name>.jsonl`.
+fn export_trace(dir: &str, name: &str, params: ExperimentParams) {
+    let Some(artifact) = flare_scenarios::tracing::representative_trace(name, &params) else {
+        return;
+    };
+    std::fs::create_dir_all(dir).expect("create trace directory");
+    let path = std::path::Path::new(dir).join(format!("{name}.jsonl"));
+    std::fs::write(&path, &artifact.jsonl).expect("write trace file");
+    eprintln!(
+        "trace: {} ({} events, {} scheme) -> {}",
+        name,
+        artifact.events,
+        artifact.scheme,
+        path.display()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (params, rest) = parse_params(&args);
-    if rest.is_empty() {
+    let cli = parse_cli(&args);
+    let params = cli.params;
+    if cli.rest.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--runs N] [--secs S] [--seed K] <experiment>...\n\
+            "usage: repro [--quick] [--runs N] [--secs S] [--seed K] [--trace DIR] <experiment>...\n\
              experiments: {} all",
             ALL.join(" ")
         );
         std::process::exit(2);
     }
-    for name in &rest {
+    for name in &cli.rest {
         if name == "all" {
             for exp in ALL {
                 eprintln!("== running {exp} ==");
                 run_one(exp, params);
+                if let Some(dir) = &cli.trace_dir {
+                    export_trace(dir, exp, params);
+                }
             }
-        } else if !run_one(name, params) {
+        } else if run_one(name, params) {
+            if let Some(dir) = &cli.trace_dir {
+                export_trace(dir, name, params);
+            }
+        } else {
             eprintln!("unknown experiment: {name}");
             std::process::exit(2);
         }

@@ -52,6 +52,39 @@ pub fn parse_params(args: &[String]) -> (ExperimentParams, Vec<String>) {
     (params, rest)
 }
 
+/// Fully parsed `repro` command line: sizing parameters, the optional
+/// trace-export directory, and the experiment names.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Experiment sizing (runs, durations, seed).
+    pub params: ExperimentParams,
+    /// Directory for per-experiment JSONL traces (`--trace DIR`), if any.
+    pub trace_dir: Option<String>,
+    /// Remaining positional arguments (experiment names).
+    pub rest: Vec<String>,
+}
+
+/// Parses the full `repro` command line: everything [`parse_params`]
+/// accepts plus `--trace DIR`.
+pub fn parse_cli(args: &[String]) -> CliOptions {
+    let (params, unparsed) = parse_params(args);
+    let mut trace_dir = None;
+    let mut rest = Vec::new();
+    let mut it = unparsed.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--trace" {
+            trace_dir = Some(it.next().expect("--trace needs a directory"));
+        } else {
+            rest.push(arg);
+        }
+    }
+    CliOptions {
+        params,
+        trace_dir,
+        rest,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +122,26 @@ mod tests {
     #[should_panic(expected = "--runs needs a value")]
     fn missing_value_panics() {
         let _ = parse_params(&args(&["--runs"]));
+    }
+
+    #[test]
+    fn trace_flag_is_extracted() {
+        let cli = parse_cli(&args(&["--quick", "--trace", "out", "fig6", "fig7"]));
+        assert_eq!(cli.params.runs, 2);
+        assert_eq!(cli.trace_dir.as_deref(), Some("out"));
+        assert_eq!(cli.rest, vec!["fig6".to_owned(), "fig7".to_owned()]);
+    }
+
+    #[test]
+    fn trace_flag_defaults_off() {
+        let cli = parse_cli(&args(&["table1"]));
+        assert!(cli.trace_dir.is_none());
+        assert_eq!(cli.rest, vec!["table1".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--trace needs a directory")]
+    fn trace_without_dir_panics() {
+        let _ = parse_cli(&args(&["fig6", "--trace"]));
     }
 }

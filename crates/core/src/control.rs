@@ -21,6 +21,7 @@
 
 use flare_sim::rng::stream;
 use flare_sim::{Time, TimeDelta};
+use flare_trace::{Category, TraceHandle};
 use rand::Rng;
 
 use crate::messages::{AssignmentMsg, StatsReportMsg};
@@ -178,6 +179,7 @@ pub struct ControlPlane {
     downlink: Vec<InFlight<AssignmentMsg>>,
     sent: u64,
     stats: ControlPlaneStats,
+    trace: TraceHandle,
 }
 
 impl ControlPlane {
@@ -191,7 +193,18 @@ impl ControlPlane {
             downlink: Vec::new(),
             sent: 0,
             stats: ControlPlaneStats::default(),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Returns this control plane with a trace recorder attached. Message
+    /// fates become [`Category::Control`] events, and the delivery/loss
+    /// counters are mirrored into the registry (`control.*`). Trace
+    /// recording never consults the fault RNG, so attaching a recorder
+    /// cannot perturb the fault pattern.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The active fault model.
@@ -212,9 +225,13 @@ impl ControlPlane {
     /// Draws the fate of one message: `None` when dropped, otherwise its
     /// delivery time. The RNG is only consulted for faults that are
     /// actually enabled, so a perfect model stays RNG-silent.
-    fn fate(&mut self, now: Time) -> Option<Time> {
+    fn fate(&mut self, now: Time, link: &'static str) -> Option<Time> {
         if self.faults.drop_prob > 0.0 && self.rng.gen_bool(self.faults.drop_prob) {
             self.stats.dropped += 1;
+            self.trace.incr("control.dropped", 1);
+            self.trace.record(now, Category::Control, "drop", |e| {
+                e.str("link", link);
+            });
             return None;
         }
         let mut at = now + self.faults.delay;
@@ -222,16 +239,25 @@ impl ControlPlane {
             let extra = self.rng.gen_range(0..=self.faults.jitter.as_millis());
             at += TimeDelta::from_millis(extra);
         }
+        let mut reordered = false;
         if self.faults.reorder_prob > 0.0 && self.rng.gen_bool(self.faults.reorder_prob) {
             self.stats.reordered += 1;
+            self.trace.incr("control.reordered", 1);
             at += self.faults.reorder_delay;
+            reordered = true;
         }
+        self.trace
+            .record_debug(now, Category::Control, "sent", |e| {
+                e.str("link", link)
+                    .u64("delay_ms", at.saturating_since(now).as_millis())
+                    .bool("reordered", reordered);
+            });
         Some(at)
     }
 
     /// eNodeB → server: submits one statistics report at time `now`.
     pub fn send_report(&mut self, now: Time, msg: StatsReportMsg) {
-        if let Some(deliver_at) = self.fate(now) {
+        if let Some(deliver_at) = self.fate(now, "up") {
             self.sent += 1;
             self.uplink.push(InFlight {
                 deliver_at,
@@ -251,8 +277,14 @@ impl ControlPlane {
         for m in due {
             if self.faults.in_outage(m.deliver_at) {
                 self.stats.lost_to_outage += 1;
+                self.trace.incr("control.lost_to_outage", 1);
+                self.trace
+                    .record(now, Category::Control, "outage_loss", |e| {
+                        e.str("link", "up");
+                    });
             } else {
                 self.stats.delivered += 1;
+                self.trace.incr("control.delivered", 1);
                 out.push(m.msg);
             }
         }
@@ -262,7 +294,7 @@ impl ControlPlane {
     /// Server → plugins/PCEF: submits one BAI's assignments at time `now`.
     pub fn send_assignments(&mut self, now: Time, msgs: Vec<AssignmentMsg>) {
         for msg in msgs {
-            if let Some(deliver_at) = self.fate(now) {
+            if let Some(deliver_at) = self.fate(now, "down") {
                 self.sent += 1;
                 self.downlink.push(InFlight {
                     deliver_at,
@@ -278,6 +310,7 @@ impl ControlPlane {
     pub fn recv_assignments(&mut self, now: Time) -> Vec<AssignmentMsg> {
         let due = Self::take_due(&mut self.downlink, now);
         self.stats.delivered += due.len() as u64;
+        self.trace.incr("control.delivered", due.len() as u64);
         due.into_iter().map(|m| m.msg).collect()
     }
 

@@ -7,6 +7,7 @@ use flare_lte::{FlowClass, FlowId, IntervalReport, Itbs, LinkAdaptation};
 use flare_sim::units::Rate;
 use flare_sim::Time;
 use flare_solver::{round_down, solve_discrete, solve_relaxed, FlowSpec, ProblemSpec};
+use flare_trace::{Category, TraceHandle};
 
 use crate::algorithm::{StabilityFilter, StabilityState};
 use crate::client::ClientInfo;
@@ -58,6 +59,7 @@ pub struct OneApiServer {
     seq: u64,
     /// Clients evicted for prolonged statistics silence (telemetry).
     evicted: u64,
+    trace: TraceHandle,
 }
 
 impl OneApiServer {
@@ -79,7 +81,16 @@ impl OneApiServer {
             last_solve_time: None,
             seq: 0,
             evicted: 0,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches a trace recorder. Solver events ([`Category::Solver`])
+    /// record each BAI solve round, per-client assignments (debug level),
+    /// and client evictions; solve wall time goes to the registry histogram
+    /// `solver.wall_ms` only, never into the event stream.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The active configuration.
@@ -176,7 +187,7 @@ impl OneApiServer {
             })
             .collect();
 
-        self.solve_clients(bai_secs, total_rbs, &obs)
+        self.solve_clients(report.end.as_millis(), bai_secs, total_rbs, &obs)
             .into_iter()
             .map(|(ci, level)| {
                 let client = &self.clients[ci];
@@ -218,7 +229,7 @@ impl OneApiServer {
             })
             .collect();
         let issued_ms = report.end_ms;
-        self.solve_clients(bai_secs, total_rbs, &obs)
+        self.solve_clients(issued_ms, bai_secs, total_rbs, &obs)
             .into_iter()
             .map(|(ci, level)| self.assignment_msg(ci, level, seq, issued_ms))
             .collect()
@@ -282,8 +293,12 @@ impl OneApiServer {
             self.clients.retain(|c| c.silent_bais < r.evict_bais);
             for flow in &evicted {
                 self.pcrf.deregister(*flow);
+                self.trace.record(now, Category::Solver, "evict", |e| {
+                    e.u64("flow", flow.index() as u64);
+                });
             }
             self.evicted += evicted.len() as u64;
+            self.trace.incr("server.evicted", evicted.len() as u64);
         }
         if self.clients.is_empty() {
             return Vec::new();
@@ -303,7 +318,7 @@ impl OneApiServer {
             .map(|c| Some(c.cached_bits_per_rb.unwrap_or(floor)))
             .collect();
         let issued_ms = now.as_millis();
-        self.solve_clients(bai_secs, total_rbs, &obs)
+        self.solve_clients(issued_ms, bai_secs, total_rbs, &obs)
             .into_iter()
             .map(|(ci, level)| self.assignment_msg(ci, level, seq, issued_ms))
             .collect()
@@ -333,9 +348,11 @@ impl OneApiServer {
     /// The shared core of Algorithm 1: builds problem (3)–(4) from one
     /// observation (bits/RB) per participating client, solves it, and runs
     /// the δ stability filter. `obs[i] == None` excludes client `i` from
-    /// this BAI. Returns `(client index, applied level)` pairs.
+    /// this BAI. Returns `(client index, applied level)` pairs. `now_ms` is
+    /// the simulation time stamped onto trace events.
     fn solve_clients(
         &mut self,
+        now_ms: u64,
         bai_secs: f64,
         total_rbs: f64,
         obs: &[Option<f64>],
@@ -389,18 +406,67 @@ impl OneApiServer {
             SolveMode::Exact => solve_discrete(&spec),
             SolveMode::Relaxed => round_down(&spec, &solve_relaxed(&spec)),
         };
-        self.last_solve_time = Some(self.clock.now().saturating_sub(started));
+        let wall = self.clock.now().saturating_sub(started);
+        self.last_solve_time = Some(wall);
+
+        let now = Time::from_millis(now_ms);
+        if self.trace.is_attached() {
+            // Wall-clock solve time goes into the registry only: putting it
+            // in an event would break the byte-identical-trace guarantee.
+            self.trace.incr("solver.solves", 1);
+            self.trace
+                .observe("solver.wall_ms", wall.as_secs_f64() * 1e3);
+            self.trace.observe("solver.steps", solution.steps as f64);
+            self.trace.record(now, Category::Solver, "solve", |e| {
+                e.u64("clients", solver_index.len() as u64)
+                    .u64("data_flows", self.pcrf.data_flow_count() as u64)
+                    .f64("total_rbs", total_rbs)
+                    .str(
+                        "mode",
+                        match self.config.solve_mode {
+                            SolveMode::Exact => "exact",
+                            SolveMode::Relaxed => "relaxed",
+                        },
+                    )
+                    .u64("steps", solution.steps)
+                    .f64("r", solution.r);
+                if solution.objective.is_finite() {
+                    e.f64("objective", solution.objective);
+                } else {
+                    e.bool("overloaded", true);
+                }
+            });
+        }
 
         // Stability filter, then report the applied levels.
-        solver_index
-            .iter()
-            .zip(&solution.levels)
-            .map(|(&ci, &recommended)| {
-                let client = &mut self.clients[ci];
-                let applied = self.filter.apply(&mut client.state, recommended);
-                (ci, Level::new(applied))
-            })
-            .collect()
+        let assign_debug = self.trace.debug_enabled(Category::Solver);
+        let mut deferrals: u64 = 0;
+        let mut out = Vec::with_capacity(solver_index.len());
+        for (&ci, &recommended) in solver_index.iter().zip(&solution.levels) {
+            let client = &mut self.clients[ci];
+            let applied = self.filter.apply(&mut client.state, recommended);
+            let deferred = applied != recommended;
+            if deferred {
+                deferrals += 1;
+            }
+            if assign_debug {
+                let flow = client.info.flow().index() as u64;
+                let bits_per_rb = obs[ci].unwrap_or(0.0);
+                self.trace
+                    .record_debug(now, Category::Solver, "assign", |e| {
+                        e.u64("flow", flow)
+                            .f64("bits_per_rb", bits_per_rb)
+                            .u64("recommended", recommended as u64)
+                            .u64("applied", applied as u64)
+                            .bool("deferred", deferred);
+                    });
+            }
+            out.push((ci, Level::new(applied)));
+        }
+        if deferrals > 0 {
+            self.trace.incr("solver.deferrals", deferrals);
+        }
+        out
     }
 }
 

@@ -2,6 +2,7 @@
 
 use flare_sim::units::{ByteCount, Rate};
 use flare_sim::{Time, TimeDelta};
+use flare_trace::{Category, TraceHandle};
 
 use crate::adapter::{AdaptContext, DownloadSample, RateAdapter};
 use crate::buffer::PlaybackBuffer;
@@ -122,6 +123,8 @@ pub struct Player {
     underflow_time: TimeDelta,
     rebuffer_events: u64,
     records: Vec<SegmentRecord>,
+    trace: TraceHandle,
+    ue: u64,
 }
 
 impl std::fmt::Debug for Player {
@@ -151,7 +154,17 @@ impl Player {
             underflow_time: TimeDelta::ZERO,
             rebuffer_events: 0,
             records: Vec::new(),
+            trace: TraceHandle::disabled(),
+            ue: 0,
         }
+    }
+
+    /// Attaches a trace recorder; `ue` tags this player's
+    /// [`Category::Player`] events so traces from multiple players sharing
+    /// one recorder stay distinguishable.
+    pub fn set_trace(&mut self, trace: TraceHandle, ue: u64) {
+        self.trace = trace;
+        self.ue = ue;
     }
 
     /// The manifest being played.
@@ -214,6 +227,11 @@ impl Player {
             self.underflow_time += dt;
             if self.buffer.level() >= self.config.resume_threshold {
                 self.stalled = false;
+                let ue = self.ue;
+                let buffer_ms = self.buffer.level().as_millis();
+                self.trace.record(now, Category::Player, "resume", |e| {
+                    e.u64("ue", ue).u64("buffer_ms", buffer_ms);
+                });
             }
             return;
         }
@@ -226,6 +244,11 @@ impl Player {
             self.stalled = true;
             self.rebuffer_events += 1;
             self.underflow_time += starved;
+            self.trace.incr("player.stalls", 1);
+            let ue = self.ue;
+            self.trace.record(now, Category::Player, "stall", |e| {
+                e.u64("ue", ue);
+            });
         }
     }
 
@@ -257,6 +280,20 @@ impl Player {
             received: ByteCount::ZERO,
             requested_at: now,
         });
+        self.trace.incr("player.requests", 1);
+        {
+            let ue = self.ue;
+            let segment = self.next_segment;
+            let buffer_ms = self.buffer.level().as_millis();
+            self.trace
+                .record_debug(now, Category::Player, "request", |e| {
+                    e.u64("ue", ue)
+                        .u64("segment", segment)
+                        .u64("level", level.index() as u64)
+                        .u64("bytes", bytes.as_u64())
+                        .u64("buffer_ms", buffer_ms);
+                });
+        }
         Some(SegmentRequest {
             segment_index: self.next_segment,
             level,
@@ -288,6 +325,21 @@ impl Player {
             buffer_after: self.buffer.level(),
         };
         self.records.push(record);
+        if self.trace.is_attached() {
+            let download_ms = now.since(dl.requested_at).as_millis();
+            self.trace.incr("player.segments", 1);
+            self.trace.observe("player.download_ms", download_ms as f64);
+            let ue = self.ue;
+            let buffer_ms = self.buffer.level().as_millis();
+            self.trace.record(now, Category::Player, "segment", |e| {
+                e.u64("ue", ue)
+                    .u64("segment", dl.segment_index)
+                    .u64("level", dl.level.index() as u64)
+                    .u64("bytes", dl.total.as_u64())
+                    .u64("download_ms", download_ms)
+                    .u64("buffer_ms", buffer_ms);
+            });
+        }
         self.adapter.on_download_complete(DownloadSample {
             completed_at: now,
             level: dl.level,

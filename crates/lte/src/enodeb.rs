@@ -2,6 +2,7 @@
 
 use flare_sim::units::{ByteCount, Rate};
 use flare_sim::{Time, TimeDelta};
+use flare_trace::{Category, TraceHandle};
 
 use crate::bearer::{BearerQos, TokenBucket};
 use crate::channel::ChannelModel;
@@ -83,6 +84,7 @@ pub struct ENodeB {
     report_start: Time,
     now: Time,
     expired_leases: u64,
+    trace: TraceHandle,
 }
 
 impl std::fmt::Debug for ENodeB {
@@ -109,7 +111,15 @@ impl ENodeB {
             report_start: Time::ZERO,
             now: Time::ZERO,
             expired_leases: 0,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches a trace recorder. MAC events ([`Category::Mac`]) are
+    /// tick-sampled per the handle's configuration; enforcement events
+    /// ([`Category::Enforce`]) record GBR/lease lifecycle.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Attaches a flow with its own channel process. Data flows are greedy
@@ -159,6 +169,13 @@ impl ENodeB {
     /// Panics if `flow` is unknown.
     pub fn set_gbr(&mut self, flow: FlowId, gbr: Option<Rate>) {
         let now = self.now;
+        self.trace.record_debug(now, Category::Enforce, "gbr", |e| {
+            e.u64("flow", flow.index() as u64);
+            match gbr {
+                Some(rate) => e.f64("kbps", rate.as_kbps()),
+                None => e.bool("cleared", true),
+            };
+        });
         let window = self.config.gbr_burst_window;
         let st = self.flow_mut(flow);
         // A plain set is persistent: it cancels any outstanding lease.
@@ -194,6 +211,13 @@ impl ENodeB {
             expires_at > self.now,
             "a GBR lease must expire in the future"
         );
+        self.trace
+            .record(self.now, Category::Enforce, "lease_grant", |e| {
+                e.u64("flow", flow.index() as u64)
+                    .f64("kbps", gbr.as_kbps())
+                    .u64("expires_ms", expires_at.as_millis());
+            });
+        self.trace.incr("enforce.lease_grants", 1);
         self.set_gbr(flow, Some(gbr));
         self.flow_mut(flow).gbr_expires = Some(expires_at);
     }
@@ -276,14 +300,26 @@ impl ENodeB {
         self.now = now;
 
         // 0. Expire GBR leases that were not renewed.
-        for st in &mut self.flows {
+        let mut expired: Vec<u64> = Vec::new();
+        for (i, st) in self.flows.iter_mut().enumerate() {
             if let Some(expires_at) = st.gbr_expires {
                 if now >= expires_at {
                     st.gbr_expires = None;
                     st.qos.gbr = None;
                     st.gbr_bucket = None;
                     self.expired_leases += 1;
+                    expired.push(i as u64);
                 }
+            }
+        }
+        if !expired.is_empty() {
+            self.trace
+                .incr("enforce.lease_expiries", expired.len() as u64);
+            for f in expired {
+                self.trace
+                    .record(now, Category::Enforce, "lease_expired", |e| {
+                        e.u64("flow", f);
+                    });
             }
         }
 
@@ -325,11 +361,22 @@ impl ENodeB {
         );
 
         // 3. Deliver.
+        let mac_sampled = self.trace.tick(Category::Mac);
+        let grant_debug = mac_sampled && self.trace.debug_enabled(Category::Mac);
         let mut delivered = Vec::with_capacity(grants.len());
         for g in grants {
             let state = states[g.flow.index()];
             let capacity = state.bytes_for_rbs(g.rbs);
             let bytes = capacity.min(state.backlog);
+            if grant_debug {
+                let st = &self.flows[g.flow.index()];
+                self.trace.record_debug(now, Category::Mac, "grant", |e| {
+                    e.u64("flow", g.flow.index() as u64)
+                        .u64("rbs", u64::from(g.rbs))
+                        .u64("bytes", bytes.as_u64())
+                        .u64("itbs", st.last_itbs.index() as u64);
+                });
+            }
             let st = &mut self.flows[g.flow.index()];
             if let Some(backlog) = st.backlog.as_mut() {
                 *backlog = backlog.saturating_sub(bytes);
@@ -349,6 +396,13 @@ impl ENodeB {
                     bytes,
                 });
             }
+        }
+        if mac_sampled {
+            self.trace.record(now, Category::Mac, "tti", |e| {
+                e.u64("rbs", u64::from(granted_total))
+                    .u64("sched", delivered.len() as u64)
+                    .u64("flows", states.len() as u64);
+            });
         }
         delivered
     }
@@ -376,11 +430,19 @@ impl ENodeB {
                 s
             })
             .collect();
-        IntervalReport {
+        let report = IntervalReport {
             start,
             end: now,
             flows,
+        };
+        if self.trace.is_attached() {
+            self.trace.incr("mac.reports", 1);
+            self.trace.incr("mac.report_rbs", report.total_rbs());
+            self.trace
+                .incr("mac.report_bytes", report.total_bytes().as_u64());
+            self.trace.gauge("mac.flows", self.flows.len() as f64);
         }
+        report
     }
 
     /// Lifetime bytes delivered to a flow.

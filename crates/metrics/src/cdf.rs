@@ -165,6 +165,45 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_statistic() {
+        let cdf = Cdf::from_samples(vec![42.0]);
+        assert_eq!(cdf.len(), 1);
+        assert_eq!(cdf.min(), 42.0);
+        assert_eq!(cdf.max(), 42.0);
+        assert_eq!(cdf.mean(), 42.0);
+        assert_eq!(cdf.median(), 42.0);
+        assert_eq!(cdf.percentile(0.0), 42.0);
+        assert_eq!(cdf.percentile(100.0), 42.0);
+        assert_eq!(cdf.fraction_at_most(41.9), 0.0);
+        assert_eq!(cdf.fraction_at_most(42.0), 1.0);
+        // The grid degenerates to a flat span but stays well-formed.
+        let grid = cdf.grid(3);
+        assert_eq!(grid.len(), 3);
+        assert!(grid.iter().all(|&(x, f)| x == 42.0 && f == 1.0));
+    }
+
+    #[test]
+    fn duplicate_heavy_samples_keep_percentiles_on_samples() {
+        let cdf = Cdf::from_samples(vec![5.0, 5.0, 5.0, 5.0, 9.0]);
+        assert_eq!(cdf.median(), 5.0);
+        assert_eq!(cdf.percentile(80.0), 5.0);
+        assert_eq!(cdf.percentile(81.0), 9.0);
+        assert_eq!(cdf.fraction_at_most(5.0), 0.8);
+        assert_eq!(cdf.fraction_at_most(8.999), 0.8);
+        assert_eq!(cdf.fraction_at_most(9.0), 1.0);
+    }
+
+    #[test]
+    fn tiny_percentiles_round_up_to_the_first_sample() {
+        // Nearest-rank: any p > 0 maps to rank ceil(p/100 * n) >= 1.
+        let cdf = Cdf::from_samples((1..=10).map(f64::from).collect());
+        assert_eq!(cdf.percentile(0.001), 1.0);
+        assert_eq!(cdf.percentile(10.0), 1.0);
+        assert_eq!(cdf.percentile(10.1), 2.0);
+        assert_eq!(cdf.percentile(99.999), 10.0);
+    }
+
+    #[test]
     #[should_panic(expected = "finite")]
     fn nan_sample_panics() {
         let _ = Cdf::from_samples(vec![1.0, f64::NAN]);

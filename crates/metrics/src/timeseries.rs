@@ -171,4 +171,59 @@ mod tests {
         let ts = series(&[(1.0, 1.0), (1.0, 2.0)]);
         assert_eq!(ts.value_at(1.0), Some(2.0));
     }
+
+    #[test]
+    fn resample_single_point_yields_that_point() {
+        let ts = series(&[(7.0, 3.0)]);
+        let r = ts.resample(10.0);
+        assert_eq!(r.points(), &[(7.0, 3.0)]);
+        assert_eq!(r.label(), "test");
+    }
+
+    #[test]
+    fn resample_includes_an_endpoint_reached_exactly() {
+        // Span 20 s with a 5 s step: the grid's last point lands exactly on
+        // the final sample despite accumulated floating-point addition.
+        let ts = series(&[(0.0, 1.0), (20.0, 2.0)]);
+        let r = ts.resample(5.0);
+        assert_eq!(
+            r.points(),
+            &[
+                (0.0, 1.0),
+                (5.0, 1.0),
+                (10.0, 1.0),
+                (15.0, 1.0),
+                (20.0, 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn resample_stops_short_of_an_unreached_endpoint() {
+        // Span 9 s with a 4 s step: 0, 4, 8 — the grid never overshoots the
+        // last timestamp.
+        let ts = series(&[(0.0, 1.0), (9.0, 2.0)]);
+        let r = ts.resample(4.0);
+        assert_eq!(r.points(), &[(0.0, 1.0), (4.0, 1.0), (8.0, 1.0)]);
+    }
+
+    #[test]
+    fn resample_grid_starts_at_the_first_timestamp() {
+        // A series that starts late resamples from its own start, not 0.
+        let ts = series(&[(3.0, 1.0), (13.0, 2.0)]);
+        let r = ts.resample(5.0);
+        assert_eq!(r.points(), &[(3.0, 1.0), (8.0, 1.0), (13.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resample an empty series")]
+    fn resample_empty_panics() {
+        let _ = TimeSeries::new("x").resample(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn resample_zero_step_panics() {
+        let _ = series(&[(0.0, 1.0)]).resample(0.0);
+    }
 }

@@ -7,6 +7,7 @@ use flare_has::{BitrateLadder, PlayerConfig};
 use flare_lte::mobility::MobilityConfig;
 use flare_lte::CellConfig;
 use flare_sim::TimeDelta;
+use flare_trace::TraceHandle;
 
 /// How each UE's channel evolves.
 #[derive(Debug, Clone)]
@@ -140,6 +141,13 @@ pub struct SimConfig {
     /// bit-exact legacy code path). Ignored by client-side schemes, which
     /// have no control plane.
     pub faults: Option<FaultModel>,
+    /// Trace recorder shared by every instrumented component of the run.
+    /// Defaults to a detached handle, in which case the simulation attaches
+    /// an internal registry-only recorder (counters and histograms, no
+    /// event ring) so end-of-run telemetry is always available. Attach a
+    /// recording handle (e.g. `TraceHandle::new(TraceConfig::info())`) to
+    /// capture the structured event stream as well.
+    pub trace: TraceHandle,
 }
 
 impl SimConfig {
@@ -177,6 +185,7 @@ impl Default for SimConfigBuilder {
                 legacy_video: 0,
                 request_jitter: TimeDelta::ZERO,
                 faults: None,
+                trace: TraceHandle::disabled(),
             },
         }
     }
@@ -275,6 +284,14 @@ impl SimConfigBuilder {
     /// plane with the given fault model.
     pub fn faults(mut self, faults: FaultModel) -> Self {
         self.config.faults = Some(faults);
+        self
+    }
+
+    /// Attaches a trace recorder: every instrumented component (MAC
+    /// scheduler, solver, control plane, plugins, players) records into it,
+    /// and the run's `RunResult::telemetry` is read from its registry.
+    pub fn trace(mut self, trace: TraceHandle) -> Self {
+        self.config.trace = trace;
         self
     }
 

@@ -45,6 +45,7 @@ mod runner;
 pub mod scaling;
 pub mod sweeps;
 pub mod testbed;
+pub mod tracing;
 
 pub use config::{ChannelKind, SchedulerKind, SchemeKind, SimConfig, SimConfigBuilder};
 pub use runner::{CellSim, RobustnessReport, RunResult, VideoFlowResult};

@@ -3,7 +3,10 @@
 use std::time::Duration;
 
 use flare_abr::avis::AvisAllocator;
-use flare_abr::{BufferBased, Festive, Google, RateBased, SharedAssignment, VersionedAssignment};
+use flare_abr::{
+    BufferBased, CoordinationMode, Festive, Google, RateBased, SharedAssignment,
+    VersionedAssignment,
+};
 use flare_core::messages::StatsReportMsg;
 use flare_core::{
     ClientInfo, ControlPlane, FaultModel, FlarePlugin, OneApiServer, ResilientPlugin,
@@ -21,6 +24,7 @@ use flare_metrics::{jain_index, QoeInputs, TimeSeries};
 use flare_sim::rng::{standard_normal, stream};
 use flare_sim::units::{ByteCount, Rate};
 use flare_sim::{Time, TimeDelta, TTI};
+use flare_trace::{Category, RegistrySnapshot, TraceHandle};
 use rand::Rng;
 
 use crate::config::{ChannelKind, SchedulerKind, SchemeKind, SimConfig};
@@ -108,6 +112,10 @@ pub struct RunResult {
     pub solve_times: Vec<Duration>,
     /// Control-plane telemetry (message-path FLARE runs only).
     pub robustness: Option<RobustnessReport>,
+    /// End-of-run counters, gauges, and timing histograms from the trace
+    /// registry. Always populated: runs without an attached recorder use an
+    /// internal registry-only one.
+    pub telemetry: RegistrySnapshot,
 }
 
 impl RunResult {
@@ -231,6 +239,10 @@ pub struct CellSim {
     jitter_rngs: Vec<rand::rngs::SmallRng>,
     /// Segment payloads in transport flight: delivered to the cell at .0.
     pending_requests: Vec<(Time, usize, ByteCount)>,
+    /// Shared trace recorder: the user's handle when one was attached via
+    /// [`SimConfig::trace`], otherwise an internal registry-only recorder
+    /// so counters back [`RunResult::telemetry`] in every run.
+    trace: TraceHandle,
 }
 
 impl CellSim {
@@ -244,7 +256,13 @@ impl CellSim {
             SchedulerKind::StrictPartition => Box::new(StrictGbrPartition::default()),
             SchedulerKind::RoundRobin => Box::new(RoundRobin::new()),
         };
+        let trace = if config.trace.is_attached() {
+            config.trace.clone()
+        } else {
+            TraceHandle::registry_only()
+        };
         let mut enb = ENodeB::new(config.cell.clone(), scheduler);
+        enb.set_trace(trace.clone());
 
         let n_total = config.n_video + config.n_data;
         let mut channels: Vec<Box<dyn ChannelModel>> = (0..n_total)
@@ -321,6 +339,7 @@ impl CellSim {
             SchemeKind::Flare(fc) | SchemeKind::FlareGbrOnly(fc) => {
                 let gbr_only = matches!(config.scheme, SchemeKind::FlareGbrOnly(_));
                 let mut server = OneApiServer::new(fc.clone().with_bai(config.bai));
+                server.set_trace(trace.clone());
                 for (i, &flow) in video_flows.iter().enumerate().take(coordinated) {
                     let mut info = ClientInfo::new(flow, config.ladder.clone());
                     if let Some(Some(prefs)) = config.prefs.get(i) {
@@ -340,7 +359,7 @@ impl CellSim {
                     let faults = config.faults.clone().unwrap_or_else(FaultModel::perfect);
                     Controller::FlareMsg {
                         server,
-                        control: ControlPlane::new(faults, config.seed),
+                        control: ControlPlane::new(faults, config.seed).with_trace(trace.clone()),
                         cells: if robustness.is_some() {
                             MsgCells::Versioned(versioned_cells)
                         } else {
@@ -366,6 +385,10 @@ impl CellSim {
         let jitter_rngs = (0..config.n_video as u64)
             .map(|ue| stream(config.seed, "jitter", ue))
             .collect();
+        let mut players = players;
+        for (i, player) in players.iter_mut().enumerate() {
+            player.set_trace(trace.clone(), i as u64);
+        }
         CellSim {
             config,
             enb,
@@ -375,6 +398,7 @@ impl CellSim {
             controller,
             jitter_rngs,
             pending_requests: Vec::new(),
+            trace,
         }
     }
 
@@ -529,8 +553,23 @@ impl CellSim {
                     ..
                 } = &self.controller
                 {
-                    for cell in cs {
+                    for (i, cell) in cs.iter().enumerate() {
+                        let before = cell.mode();
                         cell.end_bai();
+                        let after = cell.mode();
+                        if after == CoordinationMode::Fallback {
+                            self.trace.incr("plugin.fallback_bais", 1);
+                        }
+                        if before != after {
+                            let name = match after {
+                                CoordinationMode::Fallback => "fallback_enter",
+                                CoordinationMode::Coordinated => "fallback_exit",
+                            };
+                            self.trace.record(tti_end, Category::Plugin, name, |e| {
+                                e.u64("ue", i as u64)
+                                    .u64("stale_bais", u64::from(cell.bais_since_fresh()));
+                            });
+                        }
                     }
                 }
             }
@@ -559,36 +598,23 @@ impl CellSim {
             })
             .collect();
 
+        // The degradation report is read back from the trace registry: the
+        // instrumented components (control plane, plugins, eNodeB PCEF,
+        // server) mirror their counters into it as they run, so a single
+        // snapshot replaces the per-component accessor sweep.
+        let telemetry = self.trace.snapshot();
         let robustness = match &self.controller {
-            Controller::FlareMsg {
-                server,
-                control,
-                cells,
-                ..
-            } => {
-                let cp = control.stats();
-                let (fallback_bais, stale_rejections, installs) = match cells {
-                    MsgCells::Versioned(cs) => cs.iter().fold((0, 0, 0), |acc, c| {
-                        (
-                            acc.0 + c.fallback_bais(),
-                            acc.1 + c.stale_rejections(),
-                            acc.2 + c.installs(),
-                        )
-                    }),
-                    MsgCells::Naive(_) => (0, 0, 0),
-                };
-                Some(RobustnessReport {
-                    delivered: cp.delivered,
-                    dropped: cp.dropped,
-                    lost_to_outage: cp.lost_to_outage,
-                    reordered: cp.reordered,
-                    fallback_bais,
-                    stale_rejections,
-                    installs,
-                    expired_leases: self.enb.expired_lease_count(),
-                    evicted_clients: server.evicted_clients(),
-                })
-            }
+            Controller::FlareMsg { .. } => Some(RobustnessReport {
+                delivered: telemetry.counter("control.delivered"),
+                dropped: telemetry.counter("control.dropped"),
+                lost_to_outage: telemetry.counter("control.lost_to_outage"),
+                reordered: telemetry.counter("control.reordered"),
+                fallback_bais: telemetry.counter("plugin.fallback_bais"),
+                stale_rejections: telemetry.counter("plugin.stale_rejections"),
+                installs: telemetry.counter("plugin.installs"),
+                expired_leases: telemetry.counter("enforce.lease_expiries"),
+                evicted_clients: telemetry.counter("server.evicted"),
+            }),
             _ => None,
         };
 
@@ -599,6 +625,7 @@ impl CellSim {
             data,
             solve_times,
             robustness,
+            telemetry,
         }
     }
 
@@ -643,6 +670,12 @@ impl CellSim {
                     // world behaviour, now exposed to faults.
                     cs[idx].set(level);
                     self.enb.set_gbr(flow, Some(rate));
+                    self.trace
+                        .record_debug(now, Category::Plugin, "apply", |e| {
+                            e.u64("ue", idx as u64)
+                                .u64("level", u64::from(a.level))
+                                .u64("gbr_kbps", u64::from(a.gbr_kbps));
+                        });
                 }
                 MsgCells::Versioned(cs) => {
                     // Client and PCEF share the versioned view: a stale
@@ -653,6 +686,19 @@ impl CellSim {
                             self.config.bai.as_millis() * u64::from(lease_bais),
                         );
                         self.enb.set_gbr_lease(flow, rate, now + lease);
+                        self.trace.incr("plugin.installs", 1);
+                        self.trace.record(now, Category::Plugin, "install", |e| {
+                            e.u64("ue", idx as u64)
+                                .u64("assign_seq", a.seq)
+                                .u64("level", u64::from(a.level))
+                                .u64("gbr_kbps", u64::from(a.gbr_kbps));
+                        });
+                    } else {
+                        self.trace.incr("plugin.stale_rejections", 1);
+                        self.trace
+                            .record(now, Category::Plugin, "stale_reject", |e| {
+                                e.u64("ue", idx as u64).u64("assign_seq", a.seq);
+                            });
                     }
                 }
             }

@@ -83,6 +83,7 @@ pub fn solve_barrier(spec: &ProblemSpec, options: BarrierOptions) -> ContinuousS
             rates: floors,
             feasible: !spec.is_overloaded(),
             price: f64::INFINITY,
+            steps: 0,
         };
     }
 
@@ -107,6 +108,8 @@ pub fn solve_barrier(spec: &ProblemSpec, options: BarrierOptions) -> ContinuousS
     let mut rates = floors;
     let mut used = floor_used;
     let golden = (5f64.sqrt() - 1.0) / 2.0;
+    // Coordinate-ascent line searches performed, reported as `steps`.
+    let mut steps: u64 = 0;
 
     for &w in &options.weights {
         for _ in 0..options.passes_per_stage {
@@ -130,6 +133,7 @@ pub fn solve_barrier(spec: &ProblemSpec, options: BarrierOptions) -> ContinuousS
                     barrier_obj(spec, &probe, used_others + f.weight() * x, w)
                 };
                 let (mut a, mut b) = (lo, cap);
+                steps += 1;
                 for _ in 0..options.golden_iters {
                     let c = b - golden * (b - a);
                     let d = a + golden * (b - a);
@@ -165,6 +169,7 @@ pub fn solve_barrier(spec: &ProblemSpec, options: BarrierOptions) -> ContinuousS
         rates,
         feasible: true,
         price,
+        steps,
     }
 }
 

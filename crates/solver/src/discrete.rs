@@ -83,6 +83,8 @@ pub fn solve_discrete(spec: &ProblemSpec) -> DiscreteSolution {
     }
 
     const EPS: f64 = 1e-12;
+    // Accepted state transitions, reported as `DiscreteSolution::steps`.
+    let mut steps: u64 = 0;
 
     // Greedy ascent on single-level upgrades.
     loop {
@@ -100,6 +102,7 @@ pub fn solve_discrete(spec: &ProblemSpec) -> DiscreteSolution {
             Some((i, _)) => {
                 let to = eval.levels[i] + 1;
                 eval.apply(i, to);
+                steps += 1;
             }
             None => break,
         }
@@ -122,6 +125,7 @@ pub fn solve_discrete(spec: &ProblemSpec) -> DiscreteSolution {
                 if eval.delta(i, cand) > EPS {
                     eval.apply(i, cand);
                     improved = true;
+                    steps += 1;
                 }
             }
         }
@@ -151,6 +155,7 @@ pub fn solve_discrete(spec: &ProblemSpec) -> DiscreteSolution {
                     || (after >= before - EPS && eval.used_rbs < used_before - 1e-9);
                 if keeps {
                     improved = true;
+                    steps += 1;
                 } else {
                     eval.apply(j, lj);
                     eval.apply(i, li);
@@ -162,7 +167,9 @@ pub fn solve_discrete(spec: &ProblemSpec) -> DiscreteSolution {
         }
     }
 
-    finish(spec, eval.levels)
+    let mut sol = finish(spec, eval.levels);
+    sol.steps = steps;
+    sol
 }
 
 /// Exhaustively enumerates every feasible level combination.
@@ -220,7 +227,9 @@ pub fn solve_exhaustive(spec: &ProblemSpec) -> DiscreteSolution {
     }
 
     recurse(spec, 0, n, &mut current, &mut best_levels, &mut best_obj);
-    finish(spec, best_levels)
+    let mut sol = finish(spec, best_levels);
+    sol.steps = space as u64;
+    sol
 }
 
 #[cfg(test)]

@@ -66,6 +66,11 @@ pub struct DiscreteSolution {
     pub r: f64,
     /// The achieved objective value of (3).
     pub objective: f64,
+    /// Solver work counter, for profiling/tracing: accepted state
+    /// transitions for [`solve_discrete`], leaf evaluations for
+    /// [`solve_exhaustive`], and the producing relaxation's bisection
+    /// iterations for [`round_down`].
+    pub steps: u64,
 }
 
 /// Rounds a relaxed solution down to ladder levels, as Algorithm 1 does:
@@ -86,7 +91,9 @@ pub fn round_down(spec: &ProblemSpec, relaxed: &ContinuousSolution) -> DiscreteS
             level
         })
         .collect();
-    finish(spec, levels)
+    let mut sol = finish(spec, levels);
+    sol.steps = relaxed.steps;
+    sol
 }
 
 /// Builds a [`DiscreteSolution`] from levels, computing `r` and the
@@ -105,5 +112,6 @@ pub(crate) fn finish(spec: &ProblemSpec, levels: Vec<usize>) -> DiscreteSolution
         rates,
         r,
         objective,
+        steps: 0,
     }
 }

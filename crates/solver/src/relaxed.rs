@@ -33,6 +33,9 @@ pub struct ContinuousSolution {
     pub feasible: bool,
     /// The RB shadow price `μ` at the optimum (0 when no constraint binds).
     pub price: f64,
+    /// Bisection iterations performed, for profiling/tracing (0 when the
+    /// instance is solved without any bisection).
+    pub steps: u64,
 }
 
 const BISECT_ITERS: usize = 200;
@@ -69,17 +72,20 @@ fn fraction_at_price(spec: &ProblemSpec, mu: f64) -> f64 {
 }
 
 /// Finds `mu` such that `r(mu) ≈ target` (assuming `r(0) > target`).
-fn price_for_fraction(spec: &ProblemSpec, target: f64) -> f64 {
+/// Adds the iterations performed to `steps`.
+fn price_for_fraction(spec: &ProblemSpec, target: f64, steps: &mut u64) -> f64 {
     let mut lo = 0.0;
     let mut hi = 1.0;
     while fraction_at_price(spec, hi) > target {
         hi *= 4.0;
+        *steps += 1;
         if hi > 1e30 {
             break;
         }
     }
     for _ in 0..BISECT_ITERS {
         let mid = 0.5 * (lo + hi);
+        *steps += 1;
         if fraction_at_price(spec, mid) > target {
             lo = mid;
         } else {
@@ -119,11 +125,13 @@ pub fn solve_relaxed(spec: &ProblemSpec) -> ContinuousSolution {
             rates,
             feasible: false,
             price: f64::INFINITY,
+            steps: 0,
         };
     }
 
     let n = spec.total_rbs();
     let penalty = spec.n_data() as f64 * spec.alpha();
+    let mut steps: u64 = 0;
 
     let mut mu = if penalty > 0.0 {
         // Fixed point of g(mu) = mu*N*(1 - r(mu)) - n*alpha, strictly
@@ -133,12 +141,14 @@ pub fn solve_relaxed(spec: &ProblemSpec) -> ContinuousSolution {
         let mut hi = 1.0;
         while g(hi) < 0.0 {
             hi *= 4.0;
+            steps += 1;
             if hi > 1e30 {
                 break;
             }
         }
         for _ in 0..BISECT_ITERS {
             let mid = 0.5 * (lo + hi);
+            steps += 1;
             if g(mid) < 0.0 {
                 lo = mid;
             } else {
@@ -152,7 +162,7 @@ pub fn solve_relaxed(spec: &ProblemSpec) -> ContinuousSolution {
 
     // Enforce the hard cap r <= r_cap if it still binds.
     if fraction_at_price(spec, mu) > spec.r_cap() {
-        mu = mu.max(price_for_fraction(spec, spec.r_cap()));
+        mu = mu.max(price_for_fraction(spec, spec.r_cap(), &mut steps));
     }
 
     let rates = rates_at_price(spec, mu);
@@ -164,6 +174,7 @@ pub fn solve_relaxed(spec: &ProblemSpec) -> ContinuousSolution {
         objective,
         feasible: true,
         price: mu,
+        steps,
     }
 }
 

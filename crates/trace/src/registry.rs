@@ -1,0 +1,301 @@
+//! Counters, gauges, and histograms keyed by dotted metric names.
+//!
+//! The registry is the *aggregate* side of the observability layer: unlike
+//! the event ring it keeps no per-event data, so it is always cheap enough to
+//! leave on (see [`TraceHandle::registry_only`](crate::TraceHandle::registry_only)).
+//! Histograms use power-of-two buckets, so quantiles are approximate (the
+//! reported quantile is the upper bound of the bucket containing it); counts,
+//! sums, minima, and maxima are exact.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    state: RefCell<RegistryState>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Exact count/sum/min/max plus log2-bucketed distribution.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Bucket key `k` holds values `v` with `ceil(log2(v)) == k`; values
+    /// `<= 0` land in the sentinel bucket `i16::MIN`.
+    buckets: BTreeMap<i16, u64>,
+}
+
+impl Histogram {
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let key = if v > 0.0 {
+            v.log2()
+                .ceil()
+                .clamp(i16::MIN as f64 + 1.0, i16::MAX as f64) as i16
+        } else {
+            i16::MIN
+        };
+        *self.buckets.entry(key).or_insert(0) += 1;
+    }
+
+    /// Approximate quantile: the upper bound of the bucket holding rank
+    /// `q * count`, clamped to the observed `[min, max]` range.
+    fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&k, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let upper = if k == i16::MIN {
+                    self.min
+                } else {
+                    2f64.powi(k as i32)
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl Registry {
+    pub(crate) fn incr(&self, name: &str, by: u64) {
+        let mut st = self.state.borrow_mut();
+        *st.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    pub(crate) fn gauge(&self, name: &str, v: f64) {
+        let mut st = self.state.borrow_mut();
+        st.gauges.insert(name.to_string(), v);
+    }
+
+    pub(crate) fn observe(&self, name: &str, v: f64) {
+        let mut st = self.state.borrow_mut();
+        st.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    pub(crate) fn snapshot(&self) -> RegistrySnapshot {
+        let st = self.state.borrow();
+        RegistrySnapshot {
+            counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: st.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: st
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSummary {
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min,
+                            max: h.max,
+                            mean: if h.count == 0 {
+                                0.0
+                            } else {
+                                h.sum / h.count as f64
+                            },
+                            p50: h.quantile(0.50),
+                            p95: h.quantile(0.95),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Summary statistics for one histogram in a [`RegistrySnapshot`].
+///
+/// `p50`/`p95` are approximate (power-of-two bucket upper bounds); the other
+/// fields are exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 if empty).
+    pub min: f64,
+    /// Largest observation (0 if empty).
+    pub max: f64,
+    /// Exact mean (0 if empty).
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+}
+
+/// Point-in-time copy of the metrics registry, sorted by metric name.
+///
+/// This is what `scenarios::runner` attaches to each `RunResult` as the
+/// end-of-run telemetry summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Monotonic event counters, e.g. `control.dropped`.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges, e.g. `mac.flows`.
+    pub gauges: Vec<(String, f64)>,
+    /// Distribution summaries, e.g. `solver.wall_ms`.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl RegistrySnapshot {
+    /// Value of a counter, or 0 if it was never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Value of a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Summary of a histogram, if it has any observations.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// True if the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as an aligned plain-text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(k, _)| k.len())
+            .chain(self.gauges.iter().map(|(k, _)| k.len()))
+            .chain(self.histograms.iter().map(|(k, _)| k.len()))
+            .max()
+            .unwrap_or(0)
+            .max(20);
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<width$} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<width$} {v:.3}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (count / mean / p95 / max):\n");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {k:<width$} {} / {:.4} / {:.4} / {:.4}",
+                    h.count, h.mean, h.p95, h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::default();
+        r.incr("a", 1);
+        r.incr("a", 2);
+        r.incr("b", 5);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 3);
+        assert_eq!(s.counter("b"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = Registry::default();
+        r.gauge("g", 1.0);
+        r.gauge("g", 2.5);
+        assert_eq!(r.snapshot().gauge("g"), Some(2.5));
+        assert_eq!(r.snapshot().gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_stats_exact_parts() {
+        let r = Registry::default();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            r.observe("h", v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 16.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 10.0);
+        assert_eq!(h.mean, 4.0);
+        // p95 lands in the bucket holding 10.0: (8, 16] -> upper 16, clamped to max.
+        assert_eq!(h.p95, 10.0);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_negative() {
+        let r = Registry::default();
+        r.observe("h", 0.0);
+        r.observe("h", -5.0);
+        r.observe("h", 4.0);
+        let h = r.snapshot();
+        let h = h.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, -5.0);
+        assert_eq!(h.max, 4.0);
+        assert_eq!(h.p50, -5.0); // sentinel bucket reports min
+    }
+
+    #[test]
+    fn render_lists_everything() {
+        let r = Registry::default();
+        r.incr("c.x", 2);
+        r.gauge("g.y", 1.5);
+        r.observe("h.z", 3.0);
+        let text = r.snapshot().render();
+        assert!(text.contains("c.x"));
+        assert!(text.contains("g.y"));
+        assert!(text.contains("h.z"));
+    }
+}
