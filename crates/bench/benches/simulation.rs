@@ -73,13 +73,13 @@ fn bench_sweep_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_point");
     group.sample_size(10);
     group.bench_function("fig11_alpha_1", |b| {
-        b.iter(|| black_box(sweeps::alpha_sweep(&[1.0], 1, 4, 4, SLICE, 1)));
+        b.iter(|| black_box(sweeps::alpha_sweep(&[1.0], 1, 4, 4, SLICE, 1, 1)));
     });
     group.bench_function("fig12_delta_4", |b| {
-        b.iter(|| black_box(sweeps::delta_sweep(&[4], 1, SLICE, 1)));
+        b.iter(|| black_box(sweeps::delta_sweep(&[4], 1, SLICE, 1, 1)));
     });
     group.bench_function("fig8_relaxed_static", |b| {
-        b.iter(|| black_box(sweeps::solver_comparison(false, 1, SLICE, 1)));
+        b.iter(|| black_box(sweeps::solver_comparison(false, 1, SLICE, 1, 1)));
     });
     group.finish();
 }

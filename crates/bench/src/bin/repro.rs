@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--runs N] [--secs S] [--seed K] [--trace DIR] <experiment>...
+//! repro [--quick] [--runs N] [--secs S] [--seed K] [--jobs N]
+//!       [--check-invariants] [--trace DIR] <experiment>...
 //!
 //! experiments:
 //!   table1 table2        testbed scenario summaries
@@ -19,6 +20,10 @@
 //! With no sizing flags the paper's scale is used (20 runs × 1200 s cell
 //! simulations — several minutes in release). `--quick` shrinks everything
 //! for a smoke pass.
+//!
+//! `--jobs N` fans independent runs across N worker threads (0 = all
+//! cores) with bit-identical results; `--check-invariants` runs the inline
+//! invariant battery on every simulation and aborts on the first violation.
 //!
 //! `--trace DIR` additionally re-runs one representative configuration of
 //! each requested experiment with a structured trace recorder attached and
@@ -43,7 +48,7 @@ fn run_one(name: &str, p: ExperimentParams) -> bool {
         "fig9" => {
             // Figure 9 measures per-solve wall time; iterations scale with
             // the requested run count.
-            println!("{}", fig9(p.runs.max(2) * 25, p.seed).render());
+            println!("{}", fig9(p.runs.max(2) * 25, p.seed, p.jobs).render());
         }
         "fig10" => println!("{}", fig10(p).render()),
         "fig11" => println!("{}", fig11(p).render()),
@@ -98,9 +103,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args);
     let params = cli.params;
+    flare_scenarios::set_default_check_invariants(cli.check_invariants);
     if cli.rest.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--runs N] [--secs S] [--seed K] [--trace DIR] <experiment>...\n\
+            "usage: repro [--quick] [--runs N] [--secs S] [--seed K] [--jobs N] \
+             [--check-invariants] [--trace DIR] <experiment>...\n\
              experiments: {} all",
             ALL.join(" ")
         );

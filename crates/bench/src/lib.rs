@@ -20,17 +20,25 @@ use flare_scenarios::experiments::ExperimentParams;
 use flare_sim::TimeDelta;
 
 /// Parses the common sizing flags used by `repro` and the benches:
-/// `--quick`, `--runs N`, `--secs S`, `--seed K`.
+/// `--quick`, `--runs N`, `--secs S`, `--seed K`, `--jobs N`.
 ///
 /// Unrecognized arguments are returned for the caller to interpret.
 pub fn parse_params(args: &[String]) -> (ExperimentParams, Vec<String>) {
     let mut params = ExperimentParams::paper();
+    let mut jobs = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => {
                 params = ExperimentParams::quick();
+            }
+            "--jobs" => {
+                let v = it.next().expect("--jobs needs a value");
+                jobs = Some(
+                    v.parse()
+                        .expect("--jobs must be an integer (0 = all cores)"),
+                );
             }
             "--runs" => {
                 let v = it.next().expect("--runs needs a value");
@@ -49,6 +57,10 @@ pub fn parse_params(args: &[String]) -> (ExperimentParams, Vec<String>) {
             other => rest.push(other.to_owned()),
         }
     }
+    // `--quick` resets params, so the jobs override applies last.
+    if let Some(jobs) = jobs {
+        params.jobs = jobs;
+    }
     (params, rest)
 }
 
@@ -60,20 +72,27 @@ pub struct CliOptions {
     pub params: ExperimentParams,
     /// Directory for per-experiment JSONL traces (`--trace DIR`), if any.
     pub trace_dir: Option<String>,
+    /// Run the inline invariant battery on every simulation
+    /// (`--check-invariants`): violations are recorded as trace events and
+    /// abort the run.
+    pub check_invariants: bool,
     /// Remaining positional arguments (experiment names).
     pub rest: Vec<String>,
 }
 
 /// Parses the full `repro` command line: everything [`parse_params`]
-/// accepts plus `--trace DIR`.
+/// accepts plus `--trace DIR` and `--check-invariants`.
 pub fn parse_cli(args: &[String]) -> CliOptions {
     let (params, unparsed) = parse_params(args);
     let mut trace_dir = None;
+    let mut check_invariants = false;
     let mut rest = Vec::new();
     let mut it = unparsed.into_iter();
     while let Some(arg) = it.next() {
         if arg == "--trace" {
             trace_dir = Some(it.next().expect("--trace needs a directory"));
+        } else if arg == "--check-invariants" {
+            check_invariants = true;
         } else {
             rest.push(arg);
         }
@@ -81,6 +100,7 @@ pub fn parse_cli(args: &[String]) -> CliOptions {
     CliOptions {
         params,
         trace_dir,
+        check_invariants,
         rest,
     }
 }
@@ -122,6 +142,24 @@ mod tests {
     #[should_panic(expected = "--runs needs a value")]
     fn missing_value_panics() {
         let _ = parse_params(&args(&["--runs"]));
+    }
+
+    #[test]
+    fn jobs_flag_overrides_quick() {
+        let (p, rest) = parse_params(&args(&["--jobs", "4", "--quick", "fig6"]));
+        assert_eq!(p.jobs, 4);
+        assert_eq!(p.runs, 2, "--quick still applies");
+        assert_eq!(rest, vec!["fig6".to_owned()]);
+        let (p, _) = parse_params(&args(&["table1"]));
+        assert_eq!(p.jobs, 1, "serial by default");
+    }
+
+    #[test]
+    fn check_invariants_flag_is_extracted() {
+        let cli = parse_cli(&args(&["--check-invariants", "--quick", "fig6"]));
+        assert!(cli.check_invariants);
+        assert_eq!(cli.rest, vec!["fig6".to_owned()]);
+        assert!(!parse_cli(&args(&["fig6"])).check_invariants);
     }
 
     #[test]

@@ -167,6 +167,41 @@ mod tests {
         }
 
         #[test]
+        fn increase_is_admitted_exactly_at_threshold_and_never_early(
+            delta in 1u32..12,
+            recs in prop::collection::vec(0usize..8, 1..300),
+        ) {
+            // Sharper than the rate-limit property: an increase to level T
+            // is applied on exactly the δ·T-th *consecutive* recommendation
+            // of T — the counter alone decides, so admitting one BAI early
+            // is impossible by construction and this pins it.
+            let f = StabilityFilter::new(delta);
+            let mut s = StabilityState::starting_at(0);
+            let mut streak = 0u32;
+            for &r in &recs {
+                let r = r.min(s.level + 1);
+                let before = s.level;
+                let target = before + 1;
+                streak = if r == target { streak + 1 } else { 0 };
+                let applied = f.apply(&mut s, r);
+                if applied == target {
+                    prop_assert_eq!(
+                        streak, f.threshold(target),
+                        "level {} admitted at streak {} != threshold {}",
+                        target, streak, f.threshold(target)
+                    );
+                    streak = 0;
+                } else {
+                    prop_assert!(
+                        streak < f.threshold(target),
+                        "streak {} reached threshold {} without admitting",
+                        streak, f.threshold(target)
+                    );
+                }
+            }
+        }
+
+        #[test]
         fn applied_level_never_exceeds_recommendation_history_max(
             recs in prop::collection::vec(0usize..8, 1..100),
         ) {

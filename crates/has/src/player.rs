@@ -192,6 +192,16 @@ impl Player {
         self.download.is_none() && self.next_segment >= self.mpd.segment_count()
     }
 
+    /// Whether playback is currently stalled waiting for buffer to refill.
+    pub fn stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Number of rebuffering events so far (monotone over a run).
+    pub fn rebuffer_events(&self) -> u64 {
+        self.rebuffer_events
+    }
+
     /// All completed segments so far.
     pub fn records(&self) -> &[SegmentRecord] {
         &self.records

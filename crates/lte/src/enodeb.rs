@@ -84,6 +84,12 @@ pub struct ENodeB {
     report_start: Time,
     now: Time,
     expired_leases: u64,
+    /// RBs granted in the most recent TTI (as summed over scheduler grants).
+    last_tti_granted: u32,
+    /// Test-only distortion added to [`ENodeB::last_tti_granted_rbs`]; lets
+    /// invariant-layer tests observe a deliberately over-granted TTI without
+    /// tripping the scheduler's internal assertion. Always 0 in real runs.
+    reported_grant_inflation: u32,
     trace: TraceHandle,
 }
 
@@ -111,6 +117,8 @@ impl ENodeB {
             report_start: Time::ZERO,
             now: Time::ZERO,
             expired_leases: 0,
+            last_tti_granted: 0,
+            reported_grant_inflation: 0,
             trace: TraceHandle::disabled(),
         }
     }
@@ -359,6 +367,7 @@ impl ENodeB {
             "scheduler over-allocated: {granted_total} > {}",
             self.config.rbs_per_tti
         );
+        self.last_tti_granted = granted_total;
 
         // 3. Deliver.
         let mac_sampled = self.trace.tick(Category::Mac);
@@ -448,6 +457,25 @@ impl ENodeB {
     /// Lifetime bytes delivered to a flow.
     pub fn total_bytes(&self, flow: FlowId) -> ByteCount {
         self.flows[flow.index()].total_bytes
+    }
+
+    /// RBs granted in the most recent TTI, as reported to external
+    /// observers (the runtime invariant layer reads this after every
+    /// [`ENodeB::step_tti`] to check RB conservation against
+    /// [`CellConfig::rbs_per_tti`]).
+    pub fn last_tti_granted_rbs(&self) -> u32 {
+        self.last_tti_granted
+            .saturating_add(self.reported_grant_inflation)
+    }
+
+    /// Test-only hook: inflates the grant total *reported* by
+    /// [`ENodeB::last_tti_granted_rbs`] by `extra` RBs without touching the
+    /// actual allocation. A real over-allocation trips the hard assertion in
+    /// [`ENodeB::step_tti`] before any observer sees it; this hook lets
+    /// tests verify that the invariant layer would catch one.
+    #[doc(hidden)]
+    pub fn debug_inflate_reported_grants(&mut self, extra: u32) {
+        self.reported_grant_inflation = extra;
     }
 }
 

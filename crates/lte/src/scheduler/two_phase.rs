@@ -225,6 +225,61 @@ mod tests {
     }
 
     #[test]
+    fn strict_partition_matches_two_phase_without_credit() {
+        // The schedulers only diverge through GBR credit: phase 1 is empty
+        // on both sides when nobody is owed anything, and strict's phase-2
+        // filter keeps every zero-credit flow. This is the boundary of the
+        // AVIS-waste model — divergence begins exactly when an idle sliced
+        // flow holds credit (see strict_partition_reserves_for_idle_sliced_flows).
+        let flows = vec![
+            flow(0, FlowClass::Video, 5_000, 96.0, 0),
+            flow(1, FlowClass::Data, 1_000_000, 128.0, 0),
+            flow(2, FlowClass::Video, 0, 64.0, 0),
+        ];
+        let mut two_phase = TwoPhaseGbr::default();
+        let mut strict = StrictGbrPartition::default();
+        for tti in 0..500 {
+            let a = two_phase.allocate(50, &flows);
+            let b = strict.allocate(50, &flows);
+            assert_eq!(a, b, "grants diverged at TTI {tti}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn schedulers_are_identical_when_no_flow_holds_credit(
+            n_rbs in 1u32..100,
+            specs in proptest::collection::vec(
+                (0u64..1_000_000, 16u32..512, 0u32..2),
+                1..8,
+            ),
+            ttis in 1usize..50,
+        ) {
+            // Differential property: with every gbr_credit at zero, the
+            // two-phase and strict-partition schedulers produce identical
+            // per-flow grants TTI after TTI (identical grants ⇒ identical
+            // per-flow bytes, since bytes_for_rbs is a pure per-flow map).
+            // The PF state also stays in lockstep because it is settled
+            // from the very grants that just matched.
+            let flows: Vec<FlowTtiState> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(backlog, bits_per_rb, is_video))| {
+                    let class = if is_video == 1 { FlowClass::Video } else { FlowClass::Data };
+                    flow(i as u32, class, backlog, f64::from(bits_per_rb), 0)
+                })
+                .collect();
+            let mut two_phase = TwoPhaseGbr::default();
+            let mut strict = StrictGbrPartition::default();
+            for tti in 0..ttis {
+                let a = two_phase.allocate(n_rbs, &flows);
+                let b = strict.allocate(n_rbs, &flows);
+                proptest::prop_assert_eq!(&a, &b, "grants diverged at TTI {}", tti);
+            }
+        }
+    }
+
+    #[test]
     fn data_flows_share_leftover() {
         let mut s = TwoPhaseGbr::default();
         let flows = vec![

@@ -69,9 +69,19 @@ pub fn mixed_run(
     .run()
 }
 
-/// Executes `n_runs` independent runs (seeds `seed0..seed0+n_runs`).
-pub fn repeat(n_runs: usize, seed0: u64, mut one: impl FnMut(u64) -> RunResult) -> Vec<RunResult> {
-    (0..n_runs).map(|i| one(seed0 + i as u64)).collect()
+/// Executes `n_runs` independent runs (seeds `seed0..seed0+n_runs`) on up
+/// to `jobs` worker threads (`0` = all cores, `1` = serial).
+///
+/// Each job builds its whole simulation inside the closure, so runs share
+/// nothing and the result vector is bit-identical to a serial loop — the
+/// harness contract [`flare_harness::run_indexed`] enforces.
+pub fn repeat(
+    n_runs: usize,
+    seed0: u64,
+    jobs: usize,
+    one: impl Fn(u64) -> RunResult + Sync,
+) -> Vec<RunResult> {
+    flare_harness::run_indexed(n_runs, jobs, |i| one(seed0 + i as u64))
 }
 
 /// Pools every client's average bitrate (kbps) across runs — the sample
@@ -119,7 +129,7 @@ mod tests {
 
     #[test]
     fn static_runs_pool_correctly() {
-        let runs = repeat(2, 40, |s| static_run(SchemeKind::Festive, s, SHORT));
+        let runs = repeat(2, 40, 2, |s| static_run(SchemeKind::Festive, s, SHORT));
         assert_eq!(runs.len(), 2);
         assert_eq!(pooled_rates(&runs).len(), 16);
         assert_eq!(pooled_changes(&runs).len(), 16);

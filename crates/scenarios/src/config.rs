@@ -8,6 +8,26 @@ use flare_lte::mobility::MobilityConfig;
 use flare_lte::CellConfig;
 use flare_sim::TimeDelta;
 use flare_trace::TraceHandle;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default for [`SimConfig::check_invariants`], read once by
+/// each new [`SimConfigBuilder`]. `repro --check-invariants` flips it so
+/// every run an experiment constructs — however deep in the call chain —
+/// gets the runtime invariant battery without per-callsite plumbing.
+static DEFAULT_CHECK_INVARIANTS: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide default for [`SimConfig::check_invariants`].
+///
+/// Affects builders created *after* the call; explicit
+/// [`SimConfigBuilder::check_invariants`] calls always win.
+pub fn set_default_check_invariants(on: bool) {
+    DEFAULT_CHECK_INVARIANTS.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide invariant-checking default.
+pub fn default_check_invariants() -> bool {
+    DEFAULT_CHECK_INVARIANTS.load(Ordering::Relaxed)
+}
 
 /// How each UE's channel evolves.
 #[derive(Debug, Clone)]
@@ -148,6 +168,13 @@ pub struct SimConfig {
     /// recording handle (e.g. `TraceHandle::new(TraceConfig::info())`) to
     /// capture the structured event stream as well.
     pub trace: TraceHandle,
+    /// Runs the `flare-harness` runtime invariant battery inline: per-TTI RB
+    /// conservation and lease return, Eq. (4a)/(4b) checks on every solve,
+    /// player buffer/stall sanity, and monotone versioned installs. A
+    /// violation panics the run (hard-fail) after recording a structured
+    /// `invariant` trace event. Defaults to the process-wide setting
+    /// ([`set_default_check_invariants`]), normally off.
+    pub check_invariants: bool,
 }
 
 impl SimConfig {
@@ -186,6 +213,7 @@ impl Default for SimConfigBuilder {
                 request_jitter: TimeDelta::ZERO,
                 faults: None,
                 trace: TraceHandle::disabled(),
+                check_invariants: default_check_invariants(),
             },
         }
     }
@@ -295,6 +323,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Enables (or disables) the inline runtime invariant battery for this
+    /// run, overriding the process-wide default.
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.config.check_invariants = on;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -369,6 +404,17 @@ mod tests {
             .faults(FaultModel::perfect().with_drop_prob(0.2))
             .build();
         assert_eq!(c.faults.unwrap().drop_prob, 0.2);
+    }
+
+    #[test]
+    fn check_invariants_defaults_off_and_overrides() {
+        assert!(!SimConfig::builder().build().check_invariants);
+        assert!(
+            SimConfig::builder()
+                .check_invariants(true)
+                .build()
+                .check_invariants
+        );
     }
 
     #[test]

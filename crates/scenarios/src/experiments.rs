@@ -30,6 +30,10 @@ pub struct ExperimentParams {
     pub testbed_duration: TimeDelta,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for independent runs (`0` = all cores, `1` = serial).
+    /// Parallel execution is bit-identical to serial: every run owns its
+    /// seeded RNG streams and trace recorder (see `flare_harness`).
+    pub jobs: usize,
 }
 
 impl ExperimentParams {
@@ -40,6 +44,7 @@ impl ExperimentParams {
             duration: TimeDelta::from_secs(1200),
             testbed_duration: TimeDelta::from_secs(600),
             seed: 1,
+            jobs: 1,
         }
     }
 
@@ -50,7 +55,14 @@ impl ExperimentParams {
             duration: TimeDelta::from_secs(200),
             testbed_duration: TimeDelta::from_secs(200),
             seed: 1,
+            jobs: 1,
         }
+    }
+
+    /// Returns these params with `jobs` worker threads.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 }
 
@@ -158,16 +170,14 @@ pub fn table1(p: ExperimentParams) -> SchemeSummaryTable {
         .into_iter()
         .map(|scheme| {
             let name = scheme.name().to_owned();
-            let runs: Vec<RunResult> = (0..p.runs)
-                .map(|i| {
-                    crate::runner::CellSim::new(testbed::static_config(
-                        scheme.clone(),
-                        p.seed + i as u64,
-                        p.testbed_duration,
-                    ))
-                    .run()
-                })
-                .collect();
+            let runs: Vec<RunResult> = flare_harness::run_indexed(p.runs, p.jobs, |i| {
+                crate::runner::CellSim::new(testbed::static_config(
+                    scheme.clone(),
+                    p.seed + i as u64,
+                    p.testbed_duration,
+                ))
+                .run()
+            });
             SchemeSummaryRow::from_runs(&name, &runs)
         })
         .collect();
@@ -183,16 +193,14 @@ pub fn table2(p: ExperimentParams) -> SchemeSummaryTable {
         .into_iter()
         .map(|scheme| {
             let name = scheme.name().to_owned();
-            let runs: Vec<RunResult> = (0..p.runs)
-                .map(|i| {
-                    crate::runner::CellSim::new(testbed::dynamic_config(
-                        scheme.clone(),
-                        p.seed + i as u64,
-                        p.testbed_duration,
-                    ))
-                    .run()
-                })
-                .collect();
+            let runs: Vec<RunResult> = flare_harness::run_indexed(p.runs, p.jobs, |i| {
+                crate::runner::CellSim::new(testbed::dynamic_config(
+                    scheme.clone(),
+                    p.seed + i as u64,
+                    p.testbed_duration,
+                ))
+                .run()
+            });
             SchemeSummaryRow::from_runs(&name, &runs)
         })
         .collect();
@@ -363,7 +371,7 @@ fn cdf_figure(title: &str, mobile: bool, p: ExperimentParams) -> CdfFigure {
         .into_iter()
         .map(|scheme| {
             let name = scheme.name().to_owned();
-            let runs = repeat(p.runs, p.seed, |s| {
+            let runs = repeat(p.runs, p.seed, p.jobs, |s| {
                 if mobile {
                     mobile_run(scheme.clone(), s, p.duration)
                 } else {
@@ -431,7 +439,7 @@ impl CoexistenceFigure {
 
 /// Figure 10: throughput balance with 8 video and 8 data clients.
 pub fn fig10(p: ExperimentParams) -> CoexistenceFigure {
-    let runs = repeat(p.runs, p.seed, |s| {
+    let runs = repeat(p.runs, p.seed, p.jobs, |s| {
         mixed_run(
             SchemeKind::Flare(flare_core::FlareConfig::default()),
             8,
@@ -499,7 +507,7 @@ pub fn fig8(p: ExperimentParams) -> RelaxationFigure {
     let panels = [false, true]
         .into_iter()
         .map(|mobile| {
-            let cmp = solver_comparison(mobile, p.runs, p.duration, p.seed);
+            let cmp = solver_comparison(mobile, p.runs, p.duration, p.seed, p.jobs);
             RelaxationPanel {
                 scenario: cmp.scenario,
                 exact_rates: Cdf::from_samples(pooled_rates(&cmp.exact)),
@@ -546,16 +554,27 @@ impl ScalingFigure {
 }
 
 /// Figure 9: solve-time CDFs for 32, 64, and 128 video clients.
-pub fn fig9(iterations: usize, seed: u64) -> ScalingFigure {
+///
+/// `jobs > 1` fans solves across cores: the solutions are identical but the
+/// timing samples include scheduler contention, so paper-grade timing runs
+/// should pass `jobs = 1`.
+pub fn fig9(iterations: usize, seed: u64, jobs: usize) -> ScalingFigure {
     let points = [32usize, 64, 128]
         .into_iter()
         .map(|n| {
-            let exact = as_millis(&measure_solve_times(n, iterations, SolveMode::Exact, seed));
+            let exact = as_millis(&measure_solve_times(
+                n,
+                iterations,
+                SolveMode::Exact,
+                seed,
+                jobs,
+            ));
             let relaxed = as_millis(&measure_solve_times(
                 n,
                 iterations,
                 SolveMode::Relaxed,
                 seed,
+                jobs,
             ));
             (n, Cdf::from_samples(exact), Cdf::from_samples(relaxed))
         })
@@ -604,6 +623,7 @@ pub fn fig11(p: ExperimentParams) -> AlphaFigure {
             8,
             p.duration,
             p.seed,
+            p.jobs,
         ),
     }
 }
@@ -638,7 +658,7 @@ impl DeltaFigure {
 /// Figure 12: δ sweep (1 → 12).
 pub fn fig12(p: ExperimentParams) -> DeltaFigure {
     DeltaFigure {
-        points: delta_sweep(&[1, 2, 4, 6, 8, 10, 12], p.runs, p.duration, p.seed),
+        points: delta_sweep(&[1, 2, 4, 6, 8, 10, 12], p.runs, p.duration, p.seed, p.jobs),
     }
 }
 
@@ -683,14 +703,14 @@ impl DualEnforcementAblation {
 
 /// Runs the dual-enforcement ablation on the mobile scenario.
 pub fn ablation_dual_enforcement(p: ExperimentParams) -> DualEnforcementAblation {
-    let full = repeat(p.runs, p.seed, |s| {
+    let full = repeat(p.runs, p.seed, p.jobs, |s| {
         mobile_run(
             SchemeKind::Flare(flare_core::FlareConfig::default()),
             s,
             p.duration,
         )
     });
-    let gbr_only = repeat(p.runs, p.seed, |s| {
+    let gbr_only = repeat(p.runs, p.seed, p.jobs, |s| {
         mobile_run(
             SchemeKind::FlareGbrOnly(flare_core::FlareConfig::default()),
             s,
@@ -756,12 +776,7 @@ pub fn legacy_coexistence(p: ExperimentParams) -> LegacyCoexistence {
     use crate::config::{ChannelKind, SimConfig};
     use flare_lte::mobility::MobilityConfig;
 
-    let mut flare_rates = Vec::new();
-    let mut legacy_rates = Vec::new();
-    let mut flare_changes = Vec::new();
-    let mut legacy_changes = Vec::new();
-    let mut flare_underflow = 0.0;
-    for i in 0..p.runs {
+    let runs = flare_harness::run_indexed(p.runs, p.jobs, |i| {
         let config = SimConfig::builder()
             .seed(p.seed + i as u64)
             .duration(p.duration)
@@ -771,7 +786,14 @@ pub fn legacy_coexistence(p: ExperimentParams) -> LegacyCoexistence {
             .channel(ChannelKind::StationaryRandom(MobilityConfig::default()))
             .scheme(SchemeKind::Flare(flare_core::FlareConfig::default()))
             .build();
-        let r = crate::runner::CellSim::new(config).run();
+        crate::runner::CellSim::new(config).run()
+    });
+    let mut flare_rates = Vec::new();
+    let mut legacy_rates = Vec::new();
+    let mut flare_changes = Vec::new();
+    let mut legacy_changes = Vec::new();
+    let mut flare_underflow = 0.0;
+    for r in &runs {
         for v in &r.videos {
             if v.index < 4 {
                 flare_rates.push(v.stats.average_rate.as_kbps());
@@ -843,13 +865,17 @@ pub fn ablation_static_partition(p: ExperimentParams) -> PartitionAblation {
             .build();
         crate::runner::CellSim::new(config).run()
     };
+    let pairs = flare_harness::run_indexed(p.runs, p.jobs, |i| {
+        (
+            run(SchedulerKind::TwoPhaseGbr, p.seed + i as u64),
+            run(SchedulerKind::StrictPartition, p.seed + i as u64),
+        )
+    });
     let mut unified_data = Vec::new();
     let mut part_data = Vec::new();
     let mut unified_video = Vec::new();
     let mut part_video = Vec::new();
-    for i in 0..p.runs {
-        let u = run(SchedulerKind::TwoPhaseGbr, p.seed + i as u64);
-        let s = run(SchedulerKind::StrictPartition, p.seed + i as u64);
+    for (u, s) in &pairs {
         unified_data.push(u.average_data_throughput_kbps());
         part_data.push(s.average_data_throughput_kbps());
         unified_video.push(u.average_video_rate_kbps());
@@ -915,11 +941,17 @@ pub fn ablation_diversity(p: ExperimentParams) -> DiversityAblation {
             .map(|v| v.average_throughput.as_kbps())
             .sum::<f64>()
     };
+    let pairs = flare_harness::run_indexed(p.runs, p.jobs, |i| {
+        (
+            total(&run(SchedulerKind::ProportionalFair, p.seed + i as u64)),
+            total(&run(SchedulerKind::RoundRobin, p.seed + i as u64)),
+        )
+    });
     let mut pf = 0.0;
     let mut rr = 0.0;
-    for i in 0..p.runs {
-        pf += total(&run(SchedulerKind::ProportionalFair, p.seed + i as u64));
-        rr += total(&run(SchedulerKind::RoundRobin, p.seed + i as u64));
+    for (a, b) in &pairs {
+        pf += a;
+        rr += b;
     }
     DiversityAblation {
         pf_total_kbps: pf / p.runs as f64,
@@ -938,6 +970,7 @@ mod tests {
             duration: TimeDelta::from_secs(300),
             testbed_duration: TimeDelta::from_secs(120),
             seed: 4,
+            jobs: 1,
         };
         let a = ablation_diversity(p);
         assert!(
@@ -956,6 +989,7 @@ mod tests {
             duration: TimeDelta::from_secs(300),
             testbed_duration: TimeDelta::from_secs(120),
             seed: 7,
+            jobs: 1,
         };
         let r = legacy_coexistence(p);
         // FLARE clients keep their GBR protection: no stalls, and their
@@ -973,6 +1007,7 @@ mod tests {
             duration: TimeDelta::from_secs(300),
             testbed_duration: TimeDelta::from_secs(120),
             seed: 8,
+            jobs: 1,
         };
         let a = ablation_static_partition(p);
         assert!(
@@ -996,7 +1031,7 @@ mod tests {
 
     #[test]
     fn fig9_renders() {
-        let f = fig9(5, 3);
+        let f = fig9(5, 3, 1);
         assert_eq!(f.points.len(), 3);
         let rendered = f.render();
         assert!(rendered.contains("128"));
@@ -1009,6 +1044,7 @@ mod tests {
             duration: TimeDelta::from_secs(200),
             testbed_duration: TimeDelta::from_secs(120),
             seed: 5,
+            jobs: 1,
         };
         let f = fig12(p);
         assert_eq!(f.points.len(), 7);

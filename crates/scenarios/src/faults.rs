@@ -180,17 +180,15 @@ fn fault_point(label: String, faults: &FaultModel, p: ExperimentParams) -> Fault
         .into_iter()
         .map(|scheme| {
             let name = scheme.name().to_owned();
-            let runs: Vec<RunResult> = (0..p.runs)
-                .map(|i| {
-                    CellSim::new(faulty_config(
-                        scheme.clone(),
-                        faults,
-                        p.seed + i as u64,
-                        p.duration,
-                    ))
-                    .run()
-                })
-                .collect();
+            let runs: Vec<RunResult> = flare_harness::run_indexed(p.runs, p.jobs, |i| {
+                CellSim::new(faulty_config(
+                    scheme.clone(),
+                    faults,
+                    p.seed + i as u64,
+                    p.duration,
+                ))
+                .run()
+            });
             row_from_runs(&name, bais_per_run, 8.0, &runs)
         })
         .collect();
@@ -257,6 +255,7 @@ mod tests {
             duration: TimeDelta::from_secs(200),
             testbed_duration: TimeDelta::from_secs(120),
             seed: 11,
+            jobs: 1,
         }
     }
 

@@ -47,5 +47,8 @@ pub mod sweeps;
 pub mod testbed;
 pub mod tracing;
 
-pub use config::{ChannelKind, SchedulerKind, SchemeKind, SimConfig, SimConfigBuilder};
+pub use config::{
+    default_check_invariants, set_default_check_invariants, ChannelKind, SchedulerKind, SchemeKind,
+    SimConfig, SimConfigBuilder,
+};
 pub use runner::{CellSim, RobustnessReport, RunResult, VideoFlowResult};

@@ -1,18 +1,16 @@
 //! The single-cell simulation engine.
+//!
+//! [`CellSim`] owns the TTI loop and result collection; the per-scheme
+//! plugin dispatch (adapter selection, controller construction, BAI and
+//! control-plane handling) lives in [`schemes`].
+
+mod schemes;
 
 use std::time::Duration;
 
-use flare_abr::avis::AvisAllocator;
-use flare_abr::{
-    BufferBased, CoordinationMode, Festive, Google, RateBased, SharedAssignment,
-    VersionedAssignment,
-};
-use flare_core::messages::StatsReportMsg;
-use flare_core::{
-    ClientInfo, ControlPlane, FaultModel, FlarePlugin, OneApiServer, ResilientPlugin,
-    RobustnessConfig,
-};
-use flare_has::{Level, Mpd, Player, PlayerStats, RateAdapter};
+use flare_abr::CoordinationMode;
+use flare_harness::{InvariantSet, Observation};
+use flare_has::{Mpd, Player, PlayerStats};
 use flare_lte::channel::{ChannelModel, StaticChannel, TraceChannel, TriangleWave};
 use flare_lte::mobility::{snr_to_itbs, MobilityChannel, Position};
 use flare_lte::scheduler::{
@@ -28,6 +26,7 @@ use flare_trace::{Category, RegistrySnapshot, TraceHandle};
 use rand::Rng;
 
 use crate::config::{ChannelKind, SchedulerKind, SchemeKind, SimConfig};
+use schemes::{Controller, MsgCells};
 
 /// Per-video-flow outcome of a run.
 #[derive(Debug, Clone)]
@@ -193,39 +192,6 @@ impl RunResult {
     }
 }
 
-/// Client-side assignment cells of a message-path FLARE run.
-enum MsgCells {
-    /// Naive: last-write-wins cells, persistent GBRs — the paper's FLARE
-    /// run unchanged over a (possibly faulty) control plane.
-    Naive(Vec<SharedAssignment>),
-    /// Resilient: versioned cells with staleness fallback, GBR leases.
-    Versioned(Vec<VersionedAssignment>),
-}
-
-// One live instance per simulation; the size spread between variants is
-// irrelevant next to boxing noise.
-#[allow(clippy::large_enum_variant)]
-enum Controller {
-    None,
-    Flare {
-        server: OneApiServer,
-        cells: Vec<SharedAssignment>,
-        gbr_only: bool,
-    },
-    /// FLARE with its coordination loop carried over an explicit (fault-
-    /// injectable) control plane instead of lossless in-process calls.
-    FlareMsg {
-        server: OneApiServer,
-        control: ControlPlane,
-        cells: MsgCells,
-        /// Freshest statistics report delivered to the server so far and
-        /// not yet consumed by a solve.
-        latest_report: Option<StatsReportMsg>,
-        robustness: Option<RobustnessConfig>,
-    },
-    Avis(AvisAllocator),
-}
-
 /// A fully wired single-cell simulation. Construct with [`CellSim::new`],
 /// execute with [`CellSim::run`].
 pub struct CellSim {
@@ -243,6 +209,13 @@ pub struct CellSim {
     /// [`SimConfig::trace`], otherwise an internal registry-only recorder
     /// so counters back [`RunResult::telemetry`] in every run.
     trace: TraceHandle,
+    /// Inline runtime invariant battery ([`SimConfig::check_invariants`]);
+    /// hard-fail: the first violation panics the run after recording a
+    /// structured trace event.
+    invariants: Option<InvariantSet>,
+    /// Per-video-flow GBR lease expiries snapshotted just before each TTI,
+    /// so the lease-return invariant can observe expiries the TTI performs.
+    lease_watch: Vec<Option<Time>>,
 }
 
 impl CellSim {
@@ -296,99 +269,49 @@ impl CellSim {
         // as either faults or robustness are configured. With neither, the
         // legacy in-process path keeps the paper's lossless semantics
         // bit-for-bit.
-        let robustness = match &config.scheme {
-            SchemeKind::Flare(fc) => fc.robustness,
-            _ => None,
-        };
+        let robustness = schemes::robustness_of(&config.scheme);
         let msg_path = matches!(config.scheme, SchemeKind::Flare(_))
             && (config.faults.is_some() || robustness.is_some());
 
-        let mut cells: Vec<SharedAssignment> = Vec::new();
-        let mut versioned_cells: Vec<VersionedAssignment> = Vec::new();
-        let players: Vec<Player> = (0..config.n_video)
+        let mut cells = Vec::new();
+        let mut versioned_cells = Vec::new();
+        let mut players: Vec<Player> = (0..config.n_video)
             .map(|i| {
-                let adapter: Box<dyn RateAdapter> = if i >= coordinated {
-                    Box::new(Festive::default())
-                } else {
-                    match &config.scheme {
-                        SchemeKind::Festive => Box::new(Festive::default()),
-                        SchemeKind::Google => Box::new(Google::default()),
-                        SchemeKind::BufferBased => Box::new(BufferBased::default()),
-                        SchemeKind::Flare(_) => {
-                            if let Some(r) = robustness {
-                                let cell = VersionedAssignment::new(r.stale_bais, r.rejoin_bais);
-                                versioned_cells.push(cell.clone());
-                                Box::new(ResilientPlugin::new(cell)) as Box<dyn RateAdapter>
-                            } else {
-                                let cell = SharedAssignment::new();
-                                cells.push(cell.clone());
-                                Box::new(FlarePlugin::new(cell)) as Box<dyn RateAdapter>
-                            }
-                        }
-                        SchemeKind::FlareGbrOnly(_) | SchemeKind::Avis(_) => {
-                            Box::new(RateBased::default())
-                        }
-                    }
-                };
+                let adapter = schemes::player_adapter(
+                    &config.scheme,
+                    i >= coordinated,
+                    robustness,
+                    &mut cells,
+                    &mut versioned_cells,
+                );
                 Player::new(mpd(i), config.player.clone(), adapter)
             })
             .collect();
 
-        let controller = match &config.scheme {
-            SchemeKind::Festive | SchemeKind::Google | SchemeKind::BufferBased => Controller::None,
-            SchemeKind::Flare(fc) | SchemeKind::FlareGbrOnly(fc) => {
-                let gbr_only = matches!(config.scheme, SchemeKind::FlareGbrOnly(_));
-                let mut server = OneApiServer::new(fc.clone().with_bai(config.bai));
-                server.set_trace(trace.clone());
-                for (i, &flow) in video_flows.iter().enumerate().take(coordinated) {
-                    let mut info = ClientInfo::new(flow, config.ladder.clone());
-                    if let Some(Some(prefs)) = config.prefs.get(i) {
-                        info = info.with_prefs(prefs.clone());
-                    }
-                    server.register_video(info);
-                }
-                // Legacy players are serviced like data: registered at the
-                // PCRF as best-effort flows, never assigned a GBR.
-                for &flow in video_flows.iter().skip(coordinated) {
-                    server.register_data(flow);
-                }
-                for &flow in &data_flows {
-                    server.register_data(flow);
-                }
-                if msg_path {
-                    let faults = config.faults.clone().unwrap_or_else(FaultModel::perfect);
-                    Controller::FlareMsg {
-                        server,
-                        control: ControlPlane::new(faults, config.seed).with_trace(trace.clone()),
-                        cells: if robustness.is_some() {
-                            MsgCells::Versioned(versioned_cells)
-                        } else {
-                            MsgCells::Naive(cells)
-                        },
-                        latest_report: None,
-                        robustness,
-                    }
-                } else {
-                    if gbr_only {
-                        cells.clear();
-                    }
-                    Controller::Flare {
-                        server,
-                        cells,
-                        gbr_only,
-                    }
-                }
-            }
-            SchemeKind::Avis(ac) => Controller::Avis(AvisAllocator::new(ac.clone())),
-        };
+        let controller = schemes::build_controller(
+            &config,
+            &trace,
+            &video_flows,
+            &data_flows,
+            coordinated,
+            msg_path,
+            robustness,
+            cells,
+            versioned_cells,
+        );
 
         let jitter_rngs = (0..config.n_video as u64)
             .map(|ue| stream(config.seed, "jitter", ue))
             .collect();
-        let mut players = players;
         for (i, player) in players.iter_mut().enumerate() {
             player.set_trace(trace.clone(), i as u64);
         }
+        let invariants = config.check_invariants.then(|| {
+            InvariantSet::standard()
+                .with_trace(trace.clone())
+                .with_hard_fail(true)
+        });
+        let lease_watch = vec![None; config.n_video];
         CellSim {
             config,
             enb,
@@ -399,7 +322,17 @@ impl CellSim {
             jitter_rngs,
             pending_requests: Vec::new(),
             trace,
+            invariants,
+            lease_watch,
         }
+    }
+
+    /// Test-only access to the eNodeB, for injecting deliberate violations
+    /// (e.g. [`ENodeB::debug_inflate_reported_grants`]) into invariant
+    /// tests. Not part of the public API.
+    #[doc(hidden)]
+    pub fn debug_enb_mut(&mut self) -> &mut ENodeB {
+        &mut self.enb
     }
 
     fn make_channel(config: &SimConfig, ue: u64) -> Box<dyn ChannelModel> {
@@ -510,7 +443,14 @@ impl CellSim {
                 }
             }
 
-            // 2. One TTI of MAC scheduling and delivery.
+            // 2. One TTI of MAC scheduling and delivery. When invariants are
+            // on, lease expiries performed inside the TTI are observed
+            // against the pre-TTI snapshot.
+            if self.invariants.is_some() {
+                for (i, &flow) in self.video_flows.iter().enumerate() {
+                    self.lease_watch[i] = self.enb.lease_expiry(flow);
+                }
+            }
             for d in self.enb.step_tti(tti_start) {
                 let idx = d.flow.index();
                 second_bytes[idx] += d.bytes.as_u64();
@@ -518,6 +458,9 @@ impl CellSim {
                 if idx < n_video {
                     self.players[idx].on_delivered(tti_end, d.bytes);
                 }
+            }
+            if self.invariants.is_some() {
+                self.observe_tti(tti_start, tti_end);
             }
 
             // 3. Per-second sampling.
@@ -629,160 +572,43 @@ impl CellSim {
         }
     }
 
-    /// Delivers every control-plane message due by `now`: reports reach the
-    /// server's inbox, assignments reach the plugins' cells and the eNodeB's
-    /// PCEF. No-op for controllers without a message path.
-    fn poll_control(&mut self, now: Time) {
-        let Controller::FlareMsg {
-            control,
-            cells,
-            latest_report,
-            robustness,
-            ..
-        } = &mut self.controller
-        else {
-            return;
-        };
-        for r in control.recv_reports(now) {
-            // Keep only the freshest interval: a reordered old report must
-            // not overwrite newer counters.
-            if latest_report
-                .as_ref()
-                .is_none_or(|cur| r.end_ms >= cur.end_ms)
-            {
-                *latest_report = Some(r);
-            }
-        }
-        for a in control.recv_assignments(now) {
-            let Some(idx) = self
-                .video_flows
-                .iter()
-                .position(|f| f.index() as u32 == a.flow_id)
-            else {
+    /// Feeds the per-TTI observations (RB conservation, lease return,
+    /// player sanity) to the invariant battery. Caller guarantees
+    /// `self.invariants` is populated.
+    fn observe_tti(&mut self, tti_start: Time, tti_end: Time) {
+        let mut obs = vec![Observation::TtiGrant {
+            granted: self.enb.last_tti_granted_rbs(),
+            budget: self.enb.config().rbs_per_tti,
+        }];
+        for (i, &flow) in self.video_flows.iter().enumerate() {
+            let Some(expiry) = self.lease_watch[i] else {
                 continue;
             };
-            let flow = self.video_flows[idx];
-            let rate = Rate::from_kbps(f64::from(a.gbr_kbps));
-            let level = Level::new(a.level as usize);
-            match cells {
-                MsgCells::Naive(cs) => {
-                    // Last write wins, GBRs persist — exactly the lossless-
-                    // world behaviour, now exposed to faults.
-                    cs[idx].set(level);
-                    self.enb.set_gbr(flow, Some(rate));
-                    self.trace
-                        .record_debug(now, Category::Plugin, "apply", |e| {
-                            e.u64("ue", idx as u64)
-                                .u64("level", u64::from(a.level))
-                                .u64("gbr_kbps", u64::from(a.gbr_kbps));
-                        });
-                }
-                MsgCells::Versioned(cs) => {
-                    // Client and PCEF share the versioned view: a stale
-                    // assignment neither moves the plugin nor touches QoS.
-                    if cs[idx].install(a.seq, a.issued_ms, level) {
-                        let lease_bais = robustness.unwrap_or_default().lease_bais;
-                        let lease = TimeDelta::from_millis(
-                            self.config.bai.as_millis() * u64::from(lease_bais),
-                        );
-                        self.enb.set_gbr_lease(flow, rate, now + lease);
-                        self.trace.incr("plugin.installs", 1);
-                        self.trace.record(now, Category::Plugin, "install", |e| {
-                            e.u64("ue", idx as u64)
-                                .u64("assign_seq", a.seq)
-                                .u64("level", u64::from(a.level))
-                                .u64("gbr_kbps", u64::from(a.gbr_kbps));
-                        });
-                    } else {
-                        self.trace.incr("plugin.stale_rejections", 1);
-                        self.trace
-                            .record(now, Category::Plugin, "stale_reject", |e| {
-                                e.u64("ue", idx as u64).u64("assign_seq", a.seq);
-                            });
-                    }
-                }
+            if tti_start >= expiry {
+                // The lease was due this TTI: the reservation must be gone
+                // (observed before any control-plane delivery can renew it).
+                let gbr_cleared =
+                    self.enb.qos(flow).gbr.is_none() && self.enb.lease_expiry(flow).is_none();
+                obs.push(Observation::LeaseExpiry {
+                    flow: flow.index() as u64,
+                    gbr_cleared,
+                });
             }
         }
-    }
-
-    fn run_bai(&mut self, now: Time, solve_times: &mut Vec<Duration>) {
-        let report = self.enb.take_report(now);
-        match &mut self.controller {
-            Controller::None => {}
-            Controller::FlareMsg {
-                server,
-                control,
-                latest_report,
-                robustness,
-                ..
-            } => {
-                let rbs = self.enb.config().rbs_per_tti;
-                let la = self.enb.link_adaptation().clone();
-                // eNodeB -> server: this BAI's statistics, via the (possibly
-                // faulty) control plane.
-                control.send_report(now, StatsReportMsg::from(&report));
-                for r in control.recv_reports(now) {
-                    if latest_report
-                        .as_ref()
-                        .is_none_or(|cur| r.end_ms >= cur.end_ms)
-                    {
-                        *latest_report = Some(r);
-                    }
-                }
-                // Server side: during an outage window the server is down
-                // and issues nothing; clients notice via staleness.
-                if !control.in_outage(now) {
-                    let msgs = if robustness.is_some() {
-                        server.bai_tick(now, latest_report.take().as_ref(), &la, rbs)
-                    } else {
-                        match latest_report.take() {
-                            Some(r) => server.assign_msg(&r, &la, rbs),
-                            None => Vec::new(),
-                        }
-                    };
-                    if !msgs.is_empty() {
-                        if let Some(t) = server.last_solve_time() {
-                            solve_times.push(t);
-                        }
-                        control.send_assignments(now, msgs);
-                    }
-                }
-                // Deliveries due right now are applied by the caller's
-                // poll_control immediately after this returns.
-            }
-            Controller::Flare {
-                server,
-                cells,
-                gbr_only,
-            } => {
-                let rbs = self.enb.config().rbs_per_tti;
-                // The link adaptation table is cloned to satisfy borrowing;
-                // it is a tiny value object.
-                let la = self.enb.link_adaptation().clone();
-                let assignments = server.assign(&report, &la, rbs);
-                if let Some(t) = server.last_solve_time() {
-                    solve_times.push(t);
-                }
-                for a in assignments {
-                    self.enb.set_gbr(a.flow, Some(a.rate));
-                    if !*gbr_only {
-                        let video_idx = self
-                            .video_flows
-                            .iter()
-                            .position(|&f| f == a.flow)
-                            .expect("assignment for unknown flow");
-                        cells[video_idx].set(a.level);
-                    }
-                }
-            }
-            Controller::Avis(alloc) => {
-                let rbs = self.enb.config().rbs_per_tti;
-                let la = self.enb.link_adaptation().clone();
-                for a in alloc.assign(&report, &la, rbs) {
-                    self.enb.set_gbr(a.flow, Some(a.gbr));
-                    self.enb.set_mbr(a.flow, Some(a.mbr));
-                }
-            }
+        let resume_threshold_ms = self.config.player.resume_threshold.as_millis() as i64;
+        for (i, player) in self.players.iter().enumerate() {
+            obs.push(Observation::PlayerState {
+                ue: i as u64,
+                buffer_ms: player.buffer_level().as_millis() as i64,
+                stalled: player.stalled(),
+                rebuffer_events: player.rebuffer_events(),
+                resume_threshold_ms,
+                finished: player.finished(),
+            });
+        }
+        let inv = self.invariants.as_mut().expect("caller checked");
+        for o in &obs {
+            inv.observe(tti_end, o);
         }
     }
 }
@@ -792,6 +618,7 @@ mod tests {
     use super::*;
     use flare_core::FlareConfig;
     use flare_lte::mobility::MobilityConfig;
+    use flare_trace::TraceConfig;
 
     fn base(scheme: SchemeKind) -> SimConfig {
         SimConfig::builder()
@@ -802,6 +629,19 @@ mod tests {
             .data_flows(1)
             .channel(ChannelKind::Static { itbs: 10 })
             .scheme(scheme)
+            .build()
+    }
+
+    fn base_checked(scheme: SchemeKind) -> SimConfig {
+        SimConfig::builder()
+            .seed(3)
+            .duration(TimeDelta::from_secs(120))
+            .bai(TimeDelta::from_secs(10))
+            .videos(2)
+            .data_flows(1)
+            .channel(ChannelKind::Static { itbs: 10 })
+            .scheme(scheme)
+            .check_invariants(true)
             .build()
     }
 
@@ -1045,6 +885,99 @@ mod tests {
         assert_eq!(a.robustness, b.robustness);
         for (va, vb) in a.videos.iter().zip(&b.videos) {
             assert_eq!(va.rate_series.points(), vb.rate_series.points());
+        }
+    }
+
+    #[test]
+    fn every_scheme_runs_clean_under_invariants() {
+        // The standard invariant battery (RB conservation, lease return,
+        // (4a)/(4b), player sanity, monotone installs) hard-fails, so simply
+        // finishing these runs is the assertion.
+        for scheme in [
+            SchemeKind::Festive,
+            SchemeKind::Google,
+            SchemeKind::BufferBased,
+            SchemeKind::Flare(FlareConfig::default()),
+            SchemeKind::FlareGbrOnly(FlareConfig::default()),
+            SchemeKind::Avis(Default::default()),
+        ] {
+            let name = scheme.name();
+            let result = CellSim::new(base_checked(scheme)).run();
+            assert!(result.videos[0].stats.segments > 0, "{name} run degenerate");
+        }
+    }
+
+    #[test]
+    fn faulty_resilient_run_is_clean_under_invariants() {
+        // The message path exercises the install and lease-return checks:
+        // drops and reordering must produce stale *rejections*, never an
+        // out-of-order install or a leaked lease.
+        let cfg = SimConfig::builder()
+            .seed(11)
+            .duration(TimeDelta::from_secs(150))
+            .bai(TimeDelta::from_secs(10))
+            .videos(3)
+            .data_flows(1)
+            .channel(ChannelKind::Static { itbs: 10 })
+            .scheme(SchemeKind::Flare(
+                FlareConfig::default().with_robustness(flare_core::RobustnessConfig::default()),
+            ))
+            .faults(
+                flare_core::FaultModel::perfect()
+                    .with_drop_prob(0.3)
+                    .with_jitter(TimeDelta::from_millis(800)),
+            )
+            .check_invariants(true)
+            .build();
+        let result = CellSim::new(cfg).run();
+        assert!(result.robustness.unwrap().installs > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rb_conservation")]
+    fn injected_over_grant_trips_rb_conservation() {
+        // The test-only hook distorts only what the eNodeB *reports* to the
+        // invariant layer, so this exercises exactly the detection path.
+        let mut sim = CellSim::new(base_checked(SchemeKind::Festive));
+        sim.debug_enb_mut().debug_inflate_reported_grants(51);
+        let _ = sim.run();
+    }
+
+    #[test]
+    fn injected_violation_is_recorded_as_a_trace_event_before_failing() {
+        let trace = TraceHandle::new(TraceConfig::info());
+        let cfg = SimConfig::builder()
+            .seed(3)
+            .duration(TimeDelta::from_secs(5))
+            .videos(1)
+            .data_flows(0)
+            .channel(ChannelKind::Static { itbs: 10 })
+            .scheme(SchemeKind::Festive)
+            .trace(trace.clone())
+            .check_invariants(true)
+            .build();
+        let mut sim = CellSim::new(cfg);
+        sim.debug_enb_mut().debug_inflate_reported_grants(51);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()));
+        assert!(outcome.is_err(), "hard-fail mode must panic");
+        let recorded = trace.events().into_iter().any(|e| {
+            e.category == Category::Invariant
+                && e.name == "violation"
+                && e.str_field("inv") == Some("rb_conservation")
+        });
+        assert!(recorded, "violation must surface as a structured event");
+        assert_eq!(trace.snapshot().counter("invariant.violations"), 1);
+    }
+
+    #[test]
+    fn invariant_checking_does_not_change_results() {
+        // The observation path is read-only: a checked run and an unchecked
+        // run of the same seed must be bit-identical.
+        let plain = CellSim::new(base(SchemeKind::Flare(FlareConfig::default()))).run();
+        let checked = CellSim::new(base_checked(SchemeKind::Flare(FlareConfig::default()))).run();
+        for (a, b) in plain.videos.iter().zip(&checked.videos) {
+            assert_eq!(a.rate_series.points(), b.rate_series.points());
+            assert_eq!(a.throughput_series.points(), b.throughput_series.points());
         }
     }
 }

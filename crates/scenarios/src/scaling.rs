@@ -37,28 +37,32 @@ pub fn synthetic_problem(n_clients: usize, seed: u64) -> ProblemSpec {
 
 /// Measures `iterations` per-BAI solves with `n_clients` flows, returning
 /// one wall-clock duration per solve.
+///
+/// `jobs > 1` fans the solves across worker threads. Solutions are
+/// seed-deterministic either way; only the wall-clock samples move (and
+/// contended cores inflate them), so timing-sensitive figures should
+/// measure serially and use `jobs` when they just need the sweep done.
 pub fn measure_solve_times(
     n_clients: usize,
     iterations: usize,
     mode: SolveMode,
     seed: u64,
+    jobs: usize,
 ) -> Vec<Duration> {
-    (0..iterations)
-        .map(|i| {
-            let spec = synthetic_problem(n_clients, seed + i as u64);
-            let started = Instant::now();
-            match mode {
-                SolveMode::Exact => {
-                    let _ = solve_discrete(&spec);
-                }
-                SolveMode::Relaxed => {
-                    let relaxed = solve_relaxed(&spec);
-                    let _ = round_down(&spec, &relaxed);
-                }
+    flare_harness::run_indexed(iterations, jobs, |i| {
+        let spec = synthetic_problem(n_clients, seed + i as u64);
+        let started = Instant::now();
+        match mode {
+            SolveMode::Exact => {
+                let _ = solve_discrete(&spec);
             }
-            started.elapsed()
-        })
-        .collect()
+            SolveMode::Relaxed => {
+                let relaxed = solve_relaxed(&spec);
+                let _ = round_down(&spec, &relaxed);
+            }
+        }
+        started.elapsed()
+    })
 }
 
 /// Milliseconds as `f64` for CDF construction.
@@ -83,8 +87,8 @@ mod tests {
 
     #[test]
     fn solve_times_scale_but_stay_below_segment_duration() {
-        let t32 = as_millis(&measure_solve_times(32, 10, SolveMode::Exact, 1));
-        let t128 = as_millis(&measure_solve_times(128, 10, SolveMode::Exact, 1));
+        let t32 = as_millis(&measure_solve_times(32, 10, SolveMode::Exact, 1, 1));
+        let t128 = as_millis(&measure_solve_times(128, 10, SolveMode::Exact, 1, 1));
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         // The paper's headline: far below a segment duration (seconds).
         assert!(
@@ -98,7 +102,7 @@ mod tests {
 
     #[test]
     fn relaxed_mode_measures_too() {
-        let times = measure_solve_times(64, 5, SolveMode::Relaxed, 9);
+        let times = measure_solve_times(64, 5, SolveMode::Relaxed, 9, 2);
         assert_eq!(times.len(), 5);
         assert!(as_millis(&times).iter().all(|&ms| ms < 1000.0));
     }

@@ -23,6 +23,7 @@ pub struct AlphaPoint {
 
 /// Sweeps α over FLARE runs with coexisting video and data flows
 /// (Figure 11: α from 0.25 to 4 doubling; 8 video + 8 data UEs).
+#[allow(clippy::too_many_arguments)]
 pub fn alpha_sweep(
     alphas: &[f64],
     n_runs: usize,
@@ -30,13 +31,12 @@ pub fn alpha_sweep(
     n_data: usize,
     duration: TimeDelta,
     seed0: u64,
+    jobs: usize,
 ) -> Vec<AlphaPoint> {
     alphas
         .iter()
         .map(|&alpha| {
-            let mut video = Vec::new();
-            let mut data = Vec::new();
-            for i in 0..n_runs {
+            let runs = flare_harness::run_indexed(n_runs, jobs, |i| {
                 let config = FlareConfig::default().with_alpha(alpha);
                 let sim = SimConfig::builder()
                     .seed(seed0 + i as u64)
@@ -46,7 +46,11 @@ pub fn alpha_sweep(
                     .channel(ChannelKind::StationaryRandom(MobilityConfig::default()))
                     .scheme(SchemeKind::Flare(config))
                     .build();
-                let r = CellSim::new(sim).run();
+                CellSim::new(sim).run()
+            });
+            let mut video = Vec::new();
+            let mut data = Vec::new();
+            for r in &runs {
                 video.extend(r.videos.iter().map(|v| v.average_throughput.as_kbps()));
                 data.extend(r.data.iter().map(|d| d.average_throughput.as_kbps()));
             }
@@ -77,13 +81,12 @@ pub fn delta_sweep(
     n_runs: usize,
     duration: TimeDelta,
     seed0: u64,
+    jobs: usize,
 ) -> Vec<DeltaPoint> {
     deltas
         .iter()
         .map(|&delta| {
-            let mut rates = Vec::new();
-            let mut changes = Vec::new();
-            for i in 0..n_runs {
+            let runs = flare_harness::run_indexed(n_runs, jobs, |i| {
                 let config = FlareConfig::default().with_delta(delta);
                 let sim = SimConfig::builder()
                     .seed(seed0 + i as u64)
@@ -93,7 +96,11 @@ pub fn delta_sweep(
                     .channel(ChannelKind::Mobile(MobilityConfig::default()))
                     .scheme(SchemeKind::Flare(config))
                     .build();
-                let r = CellSim::new(sim).run();
+                CellSim::new(sim).run()
+            });
+            let mut rates = Vec::new();
+            let mut changes = Vec::new();
+            for r in &runs {
                 rates.extend(r.videos.iter().map(|v| v.stats.average_rate.as_kbps()));
                 changes.extend(r.videos.iter().map(|v| v.stats.bitrate_changes as f64));
             }
@@ -125,6 +132,7 @@ pub fn solver_comparison(
     n_runs: usize,
     duration: TimeDelta,
     seed0: u64,
+    jobs: usize,
 ) -> SolverComparison {
     let channel = || {
         if mobile {
@@ -148,12 +156,12 @@ pub fn solver_comparison(
     };
     SolverComparison {
         scenario: if mobile { "mobile" } else { "static" },
-        exact: (0..n_runs)
-            .map(|i| run(SolveMode::Exact, seed0 + i as u64))
-            .collect(),
-        relaxed: (0..n_runs)
-            .map(|i| run(SolveMode::Relaxed, seed0 + i as u64))
-            .collect(),
+        exact: flare_harness::run_indexed(n_runs, jobs, |i| {
+            run(SolveMode::Exact, seed0 + i as u64)
+        }),
+        relaxed: flare_harness::run_indexed(n_runs, jobs, |i| {
+            run(SolveMode::Relaxed, seed0 + i as u64)
+        }),
     }
 }
 
@@ -166,7 +174,7 @@ mod tests {
 
     #[test]
     fn alpha_trades_video_for_data() {
-        let points = alpha_sweep(&[0.25, 4.0], 1, 4, 4, SHORT, 21);
+        let points = alpha_sweep(&[0.25, 4.0], 1, 4, 4, SHORT, 21, 1);
         assert_eq!(points.len(), 2);
         // Raising alpha must raise data throughput and lower video's.
         assert!(
@@ -185,7 +193,7 @@ mod tests {
 
     #[test]
     fn delta_increases_stability() {
-        let points = delta_sweep(&[1, 12], 1, SHORT, 22);
+        let points = delta_sweep(&[1, 12], 1, SHORT, 22, 1);
         assert!(
             points[1].bitrate_changes.mean <= points[0].bitrate_changes.mean,
             "changes: {} vs {}",
@@ -202,7 +210,7 @@ mod tests {
 
     #[test]
     fn relaxation_stays_close_to_exact() {
-        let cmp = solver_comparison(false, 1, SHORT, 23);
+        let cmp = solver_comparison(false, 1, SHORT, 23, 2);
         let exact = flare_metrics::Summary::of(&pooled_rates(&cmp.exact)).mean;
         let relaxed = flare_metrics::Summary::of(&pooled_rates(&cmp.relaxed)).mean;
         // Paper: the relaxation loses at most ~15% average bitrate.

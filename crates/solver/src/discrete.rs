@@ -428,6 +428,67 @@ mod tests {
         }
 
         #[test]
+        fn output_satisfies_rb_budget_4a_within_one_rb(
+            bits_per_rb in prop::collection::vec(32.0f64..1424.0, 1..10),
+            n_data in 0usize..8,
+            alpha in 0.25f64..4.0,
+        ) {
+            // Constraint (4a): Σ w_u·R_u ≤ r_cap·N. Recompute the left side
+            // from the returned levels (not the solver's own bookkeeping)
+            // and allow one RB of slack for float accumulation.
+            let spec = ProblemSpec::builder()
+                .total_rbs(N)
+                .data_flows(n_data, alpha)
+                .flows(bits_per_rb.iter().map(|&b| paper_flow(b, 5)))
+                .build()
+                .unwrap();
+            let sol = solve_discrete(&spec);
+            prop_assume!(!spec.is_overloaded());
+            let used_rbs: f64 = spec
+                .flows()
+                .iter()
+                .zip(&sol.levels)
+                .map(|(f, &l)| f.weight() * f.ladder()[l])
+                .sum();
+            prop_assert!(
+                used_rbs <= spec.r_cap() * spec.total_rbs() + 1.0,
+                "(4a) violated: {used_rbs} RBs used of {} allowed",
+                spec.r_cap() * spec.total_rbs()
+            );
+        }
+
+        #[test]
+        fn output_never_exceeds_one_step_up_4b(
+            bits_per_rb in prop::collection::vec(32.0f64..1424.0, 1..10),
+            prev_levels in prop::collection::vec(0usize..6, 1..10),
+            n_data in 0usize..4,
+        ) {
+            // Constraint (4b): R_u ≤ ladder(L_prev + 1). The server encodes
+            // it as each flow's max_level; the solution may never assign a
+            // level (or rate) above one step over the previous BAI's.
+            let ladder_len = 6usize;
+            let flows: Vec<FlowSpec> = bits_per_rb
+                .iter()
+                .zip(prev_levels.iter().cycle())
+                .map(|(&b, &prev)| paper_flow(b, (prev + 1).min(ladder_len - 1)))
+                .collect();
+            let spec = ProblemSpec::builder()
+                .total_rbs(N)
+                .data_flows(n_data, 1.0)
+                .flows(flows)
+                .build()
+                .unwrap();
+            let sol = solve_discrete(&spec);
+            for ((f, &l), &prev) in
+                spec.flows().iter().zip(&sol.levels).zip(prev_levels.iter().cycle())
+            {
+                prop_assert!(l <= prev + 1, "level {l} skips above prev {prev} + 1");
+                let cap_rate = f.ladder()[(prev + 1).min(ladder_len - 1)];
+                prop_assert!(f.ladder()[l] <= cap_rate + 1e-9);
+            }
+        }
+
+        #[test]
         fn solutions_are_always_feasible(
             bits_per_rb in prop::collection::vec(32.0f64..1424.0, 1..10),
             n_data in 0usize..8,

@@ -22,10 +22,14 @@ pub enum Category {
     Player,
     /// Rate enforcement at the eNodeB: GBR settings, lease grants/expiries.
     Enforce,
+    /// Runtime invariant checking: one event per detected violation of the
+    /// paper's feasibility constraints (RB conservation, (4a)/(4b), buffer
+    /// non-negativity, monotone installs).
+    Invariant,
 }
 
 /// Number of distinct categories (size of per-category config arrays).
-pub const CATEGORY_COUNT: usize = 6;
+pub const CATEGORY_COUNT: usize = 7;
 
 /// All categories, in canonical order (matches [`Category::index`]).
 pub const ALL_CATEGORIES: [Category; CATEGORY_COUNT] = [
@@ -35,6 +39,7 @@ pub const ALL_CATEGORIES: [Category; CATEGORY_COUNT] = [
     Category::Plugin,
     Category::Player,
     Category::Enforce,
+    Category::Invariant,
 ];
 
 impl Category {
@@ -47,6 +52,7 @@ impl Category {
             Category::Plugin => 3,
             Category::Player => 4,
             Category::Enforce => 5,
+            Category::Invariant => 6,
         }
     }
 
@@ -59,6 +65,7 @@ impl Category {
             Category::Plugin => "plugin",
             Category::Player => "player",
             Category::Enforce => "enforce",
+            Category::Invariant => "invariant",
         }
     }
 

@@ -12,7 +12,7 @@ use flare_sim::TimeDelta;
 
 fn main() {
     let alphas = [0.25, 0.5, 1.0, 2.0, 4.0];
-    let points = alpha_sweep(&alphas, 2, 4, 4, TimeDelta::from_secs(300), 11);
+    let points = alpha_sweep(&alphas, 2, 4, 4, TimeDelta::from_secs(300), 11, 0);
 
     println!("4 video + 4 data UEs, FLARE, 2 runs x 300 s per point\n");
     println!(

@@ -22,7 +22,7 @@ fn main() {
     );
     for scheme in schemes() {
         let name = scheme.name().to_owned();
-        let runs = repeat(n_runs, 100, |s| mobile_run(scheme.clone(), s, duration));
+        let runs = repeat(n_runs, 100, 0, |s| mobile_run(scheme.clone(), s, duration));
         let rates = Cdf::from_samples(pooled_rates(&runs));
         let changes = Cdf::from_samples(pooled_changes(&runs));
         println!(

@@ -1,0 +1,94 @@
+//! Differential tests between the two GBR scheduler variants.
+//!
+//! `TwoPhaseGbr` (the paper's femtocell MAC) and `StrictGbrPartition` (the
+//! AVIS-style static-slicing ablation) differ only in how they treat GBR
+//! credit: strict partitioning reserves a sliced flow's RBs even when the
+//! flow has nothing queued, and never lets GBR flows compete for leftover
+//! capacity. When no flow ever holds GBR credit the two code paths collapse
+//! to the same PF allocation, so a whole simulation run must come out
+//! byte-identical — a strong end-to-end check that the strict scheduler
+//! diverges *only* through the modelled AVIS waste and not through some
+//! accidental bookkeeping difference.
+//!
+//! The scheduler-level counterpart (randomized per-TTI grants) lives in
+//! `crates/lte/src/scheduler/two_phase.rs`.
+
+use flare_scenarios::{CellSim, ChannelKind, SchedulerKind, SchemeKind, SimConfig};
+use flare_sim::TimeDelta;
+
+fn run_with(scheduler: SchedulerKind, scheme: SchemeKind, seed: u64) -> flare_scenarios::RunResult {
+    let config = SimConfig::builder()
+        .seed(seed)
+        .duration(TimeDelta::from_secs(180))
+        .bai(TimeDelta::from_secs(10))
+        .videos(3)
+        .data_flows(1)
+        .channel(ChannelKind::Static { itbs: 10 })
+        .scheme(scheme)
+        .scheduler(scheduler)
+        .build();
+    CellSim::new(config).run()
+}
+
+/// FESTIVE is client-side only: no network-side assignments, hence no GBR
+/// leases, hence zero credit at every TTI. Per-flow delivered bytes (and
+/// every derived series) must match exactly between the two schedulers.
+#[test]
+fn schedulers_are_identical_end_to_end_without_gbr_leases() {
+    for seed in [7, 19] {
+        let two_phase = run_with(SchedulerKind::TwoPhaseGbr, SchemeKind::Festive, seed);
+        let strict = run_with(SchedulerKind::StrictPartition, SchemeKind::Festive, seed);
+        assert_eq!(
+            two_phase.videos.len(),
+            strict.videos.len(),
+            "seed {seed}: video counts differ"
+        );
+        for (a, b) in two_phase.videos.iter().zip(&strict.videos) {
+            assert_eq!(
+                a.throughput_series.points(),
+                b.throughput_series.points(),
+                "seed {seed}: video {} delivered bytes diverged",
+                a.index
+            );
+            assert_eq!(
+                a.rate_series.points(),
+                b.rate_series.points(),
+                "seed {seed}: video {} rate decisions diverged",
+                a.index
+            );
+        }
+        for (a, b) in two_phase.data.iter().zip(&strict.data) {
+            assert_eq!(
+                a.throughput_series.points(),
+                b.throughput_series.points(),
+                "seed {seed}: data {} delivered bytes diverged",
+                a.index
+            );
+        }
+    }
+}
+
+/// Under FLARE the optimizer installs GBR leases, so players that idle with
+/// a full buffer leave reserved-but-unused RBs behind under strict
+/// partitioning. The schedulers MUST diverge here — that waste is the point
+/// of the ablation (paper Section I-B), not a bug to fix.
+#[test]
+fn schedulers_diverge_once_gbr_leases_exist() {
+    let scheme = || SchemeKind::Flare(flare_core::FlareConfig::default());
+    let two_phase = run_with(SchedulerKind::TwoPhaseGbr, scheme(), 7);
+    let strict = run_with(SchedulerKind::StrictPartition, scheme(), 7);
+    let identical = two_phase
+        .videos
+        .iter()
+        .zip(&strict.videos)
+        .all(|(a, b)| a.throughput_series.points() == b.throughput_series.points())
+        && two_phase
+            .data
+            .iter()
+            .zip(&strict.data)
+            .all(|(a, b)| a.throughput_series.points() == b.throughput_series.points());
+    assert!(
+        !identical,
+        "strict partitioning should waste idle-slice RBs under FLARE"
+    );
+}

@@ -24,13 +24,13 @@ fn claim_flare_is_most_stable_in_static_cells() {
     // allowance against AVIS; FESTIVE must simply be no more stable.
     // EXPERIMENTS.md discusses how the idealized transport substrate mutes
     // the baselines' estimate noise relative to the paper's testbed.
-    let flare = repeat(RUNS, 1, |s| {
+    let flare = repeat(RUNS, 1, 2, |s| {
         static_run(SchemeKind::Flare(FlareConfig::default()), s, SHORT)
     });
-    let avis = repeat(RUNS, 1, |s| {
+    let avis = repeat(RUNS, 1, 2, |s| {
         static_run(SchemeKind::Avis(Default::default()), s, SHORT)
     });
-    let festive = repeat(RUNS, 1, |s| static_run(SchemeKind::Festive, s, SHORT));
+    let festive = repeat(RUNS, 1, 2, |s| static_run(SchemeKind::Festive, s, SHORT));
 
     let f = mean(&pooled_changes(&flare));
     let a = mean(&pooled_changes(&avis));
@@ -62,10 +62,10 @@ fn claim_flare_beats_avis_in_mobile_cells() {
     // network-side baseline: +53% average bitrate and 85% fewer changes.
     // Our substrate reproduces the ordering (see EXPERIMENTS.md for the
     // full-scale numbers and the FESTIVE caveat).
-    let flare = repeat(RUNS, 5, |s| {
+    let flare = repeat(RUNS, 5, 2, |s| {
         mobile_run(SchemeKind::Flare(FlareConfig::default()), s, SHORT)
     });
-    let avis = repeat(RUNS, 5, |s| {
+    let avis = repeat(RUNS, 5, 2, |s| {
         mobile_run(SchemeKind::Avis(Default::default()), s, SHORT)
     });
 
@@ -135,7 +135,7 @@ fn claim_flare_never_underflows_in_the_testbed() {
 
 #[test]
 fn claim_alpha_monotonically_trades_classes() {
-    let pts = alpha_sweep(&[0.25, 1.0, 4.0], 1, 4, 4, SHORT, 31);
+    let pts = alpha_sweep(&[0.25, 1.0, 4.0], 1, 4, 4, SHORT, 31, 1);
     assert!(pts[0].video_throughput.mean >= pts[2].video_throughput.mean);
     assert!(pts[0].data_throughput.mean <= pts[2].data_throughput.mean);
     // The middle point sits between the extremes on the data axis.
@@ -145,7 +145,7 @@ fn claim_alpha_monotonically_trades_classes() {
 
 #[test]
 fn claim_delta_monotonically_stabilizes() {
-    let pts = delta_sweep(&[1, 6, 12], 1, SHORT, 32);
+    let pts = delta_sweep(&[1, 6, 12], 1, SHORT, 32, 1);
     assert!(
         pts[2].bitrate_changes.mean <= pts[0].bitrate_changes.mean,
         "delta=12 changes {:.1} vs delta=1 {:.1}",
@@ -171,7 +171,7 @@ fn claim_fairness_is_uniformly_high() {
         (SchemeKind::Festive, 0.7),
         (SchemeKind::Avis(Default::default()), 0.35),
     ] {
-        let runs = repeat(RUNS, 9, |s| static_run(scheme.clone(), s, SHORT));
+        let runs = repeat(RUNS, 9, 2, |s| static_run(scheme.clone(), s, SHORT));
         let jain = flare_scenarios::cell::mean_jain(&runs);
         assert!(jain > floor, "{} Jain {jain:.3}", scheme.name());
     }
