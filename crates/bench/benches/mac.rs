@@ -51,7 +51,7 @@ fn bench_schedulers(c: &mut Criterion) {
                 let mut enb = build_cell(mk(), flows / 2, flows - flows / 2);
                 let mut ms = 0u64;
                 b.iter(|| {
-                    let out = enb.step_tti(Time::from_millis(ms));
+                    let out = enb.step_tti(Time::from_millis(ms)).len();
                     ms += 1;
                     black_box(out)
                 });

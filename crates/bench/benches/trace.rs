@@ -66,7 +66,7 @@ fn bench_tti(c: &mut Criterion) {
             let (mut enb, _) = build_cell(handle.clone(), 4, 4);
             let mut ms = 0u64;
             b.iter(|| {
-                let out = enb.step_tti(Time::from_millis(ms));
+                let out = enb.step_tti(Time::from_millis(ms)).len();
                 ms += 1;
                 black_box(out)
             });

@@ -45,6 +45,9 @@ pub struct BearerQos {
 pub struct TokenBucket {
     rate: Rate,
     burst_window: TimeDelta,
+    /// `rate × burst_window` in bytes, recomputed only when the rate
+    /// changes so the per-TTI clamp is a compare, not two multiplies.
+    cap: f64,
     tokens: f64,
     last: Time,
 }
@@ -61,6 +64,7 @@ impl TokenBucket {
         TokenBucket {
             rate,
             burst_window,
+            cap: rate.as_bps() * burst_window.as_secs_f64() / 8.0,
             tokens: 0.0,
             last: Time::ZERO,
         }
@@ -70,6 +74,7 @@ impl TokenBucket {
     /// GBR Updater path).
     pub fn set_rate(&mut self, rate: Rate) {
         self.rate = rate;
+        self.cap = rate.as_bps() * self.burst_window.as_secs_f64() / 8.0;
         self.clamp_to_burst();
     }
 
@@ -85,16 +90,27 @@ impl TokenBucket {
     /// Panics in debug builds if `now` precedes the previous call.
     pub fn advance(&mut self, now: Time) {
         debug_assert!(now >= self.last, "token bucket time must be monotone");
+        // A full bucket stays exactly full under any accrual-then-clamp, so
+        // the float work can be skipped outright.
+        if self.tokens >= self.cap {
+            self.last = now;
+            return;
+        }
         let dt = now.saturating_since(self.last);
         self.tokens += self.rate.as_bps() * dt.as_secs_f64() / 8.0;
         self.last = now;
         self.clamp_to_burst();
     }
 
+    /// True when the bucket holds its full burst allowance, i.e. an
+    /// [`TokenBucket::advance`] of any length cannot change it.
+    pub fn is_full(&self) -> bool {
+        self.tokens >= self.cap
+    }
+
     fn clamp_to_burst(&mut self) {
-        let cap = self.rate.as_bps() * self.burst_window.as_secs_f64() / 8.0;
-        if self.tokens > cap {
-            self.tokens = cap;
+        if self.tokens > self.cap {
+            self.tokens = self.cap;
         }
     }
 

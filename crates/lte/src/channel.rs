@@ -29,6 +29,13 @@ pub trait ChannelModel {
     ///
     /// Callers must pass non-decreasing `t` values (the eNodeB does).
     fn itbs_at(&mut self, t: Time) -> Itbs;
+
+    /// True if `itbs_at` returns the same index at every `t`, letting the
+    /// eNodeB skip the per-TTI poll on a quiescent cell. Only a channel
+    /// whose value provably never moves may override this to `true`.
+    fn is_time_invariant(&self) -> bool {
+        false
+    }
 }
 
 /// A channel that never changes — the paper's static testbed scenario.
@@ -59,6 +66,10 @@ impl StaticChannel {
 impl ChannelModel for StaticChannel {
     fn itbs_at(&mut self, _t: Time) -> Itbs {
         self.itbs
+    }
+
+    fn is_time_invariant(&self) -> bool {
+        true
     }
 }
 

@@ -7,7 +7,7 @@ use flare_trace::{Category, TraceHandle};
 use crate::bearer::{BearerQos, TokenBucket};
 use crate::channel::ChannelModel;
 use crate::flows::{FlowClass, FlowId};
-use crate::scheduler::{FlowTtiState, MacScheduler};
+use crate::scheduler::{FlowTtiState, MacScheduler, RbAllocation};
 use crate::stats::{FlowIntervalStats, IntervalReport};
 use crate::tbs::{Itbs, LinkAdaptation};
 
@@ -64,6 +64,9 @@ struct FlowState {
     // Lifetime counters.
     total_bytes: ByteCount,
     last_itbs: Itbs,
+    /// Memoized `bits_per_rb(last_itbs)`; refreshed only when the fading
+    /// process actually moves the index (the channel→iTbs→TBS cache).
+    cached_bits_per_rb: f64,
 }
 
 impl std::fmt::Debug for Box<dyn ChannelModel> {
@@ -91,6 +94,24 @@ pub struct ENodeB {
     /// tripping the scheduler's internal assertion. Always 0 in real runs.
     reported_grant_inflation: u32,
     trace: TraceHandle,
+    // Persistent per-TTI scratch buffers. Cleared and refilled every
+    // [`ENodeB::step_tti`] so the hot path performs no allocation once their
+    // capacities stabilize (after warm-up).
+    tti_states: Vec<FlowTtiState>,
+    tti_grants: Vec<RbAllocation>,
+    tti_delivered: Vec<Delivered>,
+    tti_expired: Vec<u64>,
+    /// True while the cell is provably inert: no backlog, no leases, every
+    /// bearer bucket at its burst cap, every channel time-invariant, and a
+    /// scheduler whose idle TTI is a pure settle. Under this flag
+    /// [`ENodeB::step_tti`] reduces to that settle plus the trace tick —
+    /// the outcome is bit-identical to the full path. Cleared by any flow
+    /// mutation (see [`ENodeB::flow_mut`]) and re-derived after each fully
+    /// idle TTI.
+    quiescent: bool,
+    /// All attached channels report [`ChannelModel::is_time_invariant`];
+    /// maintained by [`ENodeB::add_flow`].
+    channels_static: bool,
 }
 
 impl std::fmt::Debug for ENodeB {
@@ -120,6 +141,12 @@ impl ENodeB {
             last_tti_granted: 0,
             reported_grant_inflation: 0,
             trace: TraceHandle::disabled(),
+            tti_states: Vec::new(),
+            tti_grants: Vec::new(),
+            tti_delivered: Vec::new(),
+            tti_expired: Vec::new(),
+            quiescent: false,
+            channels_static: true,
         }
     }
 
@@ -134,6 +161,10 @@ impl ENodeB {
     /// (always backlogged); video flows start with an empty queue.
     pub fn add_flow(&mut self, class: FlowClass, channel: Box<dyn ChannelModel>) -> FlowId {
         let id = FlowId(self.flows.len() as u32);
+        self.quiescent = false;
+        self.channels_static &= channel.is_time_invariant();
+        let initial_itbs = Itbs::new(0);
+        let cached_bits_per_rb = self.config.link_adaptation.bits_per_rb(initial_itbs);
         self.flows.push(FlowState {
             class,
             channel,
@@ -148,7 +179,8 @@ impl ENodeB {
             interval_rbs: 0,
             interval_bytes: ByteCount::ZERO,
             total_bytes: ByteCount::ZERO,
-            last_itbs: Itbs::new(0),
+            last_itbs: initial_itbs,
+            cached_bits_per_rb,
         });
         id
     }
@@ -293,22 +325,50 @@ impl ENodeB {
     }
 
     fn flow_mut(&mut self, flow: FlowId) -> &mut FlowState {
+        // Every externally driven flow mutation (backlog, QoS, leases) comes
+        // through here, so this is the one choke point that must re-arm the
+        // full per-TTI path.
+        self.quiescent = false;
         &mut self.flows[flow.index()]
     }
 
     /// Runs one TTI of MAC scheduling at time `now`, returning the bytes
     /// delivered to each flow.
     ///
+    /// The returned slice borrows a scratch buffer owned by the cell; it is
+    /// valid until the next `step_tti` call. Callers that need the results
+    /// past that point must copy them out (`Delivered` is `Copy`).
+    ///
     /// # Panics
     ///
     /// Panics if `now` precedes a previous TTI, or if the scheduler
     /// over-allocates the RB budget (a scheduler bug).
-    pub fn step_tti(&mut self, now: Time) -> Vec<Delivered> {
+    pub fn step_tti(&mut self, now: Time) -> &[Delivered] {
         debug_assert!(now >= self.now, "TTIs must advance monotonically");
         self.now = now;
 
+        // Quiescent fast path: when the previous TTI proved the cell inert
+        // (see the `quiescent` field), the full path below would rebuild an
+        // identical flow snapshot, grant nothing, and deliver nothing. Its
+        // only observable effects — the scheduler's idle settle and the MAC
+        // trace tick — are replayed here verbatim.
+        if self.quiescent {
+            let idled = self.scheduler.idle_tick(&self.tti_states);
+            debug_assert!(idled, "a quiescent cell's scheduler must idle");
+            self.tti_grants.clear();
+            self.last_tti_granted = 0;
+            self.tti_delivered.clear();
+            if self.trace.tick(Category::Mac) {
+                let n_flows = self.tti_states.len() as u64;
+                self.trace.record(now, Category::Mac, "tti", |e| {
+                    e.u64("rbs", 0).u64("sched", 0).u64("flows", n_flows);
+                });
+            }
+            return &self.tti_delivered;
+        }
+
         // 0. Expire GBR leases that were not renewed.
-        let mut expired: Vec<u64> = Vec::new();
+        self.tti_expired.clear();
         for (i, st) in self.flows.iter_mut().enumerate() {
             if let Some(expires_at) = st.gbr_expires {
                 if now >= expires_at {
@@ -316,14 +376,14 @@ impl ENodeB {
                     st.qos.gbr = None;
                     st.gbr_bucket = None;
                     self.expired_leases += 1;
-                    expired.push(i as u64);
+                    self.tti_expired.push(i as u64);
                 }
             }
         }
-        if !expired.is_empty() {
+        if !self.tti_expired.is_empty() {
             self.trace
-                .incr("enforce.lease_expiries", expired.len() as u64);
-            for f in expired {
+                .incr("enforce.lease_expiries", self.tti_expired.len() as u64);
+            for &f in &self.tti_expired {
                 self.trace
                     .record(now, Category::Enforce, "lease_expired", |e| {
                         e.u64("flow", f);
@@ -332,10 +392,14 @@ impl ENodeB {
         }
 
         // 1. Refresh channels and bearer buckets.
-        let mut states = Vec::with_capacity(self.flows.len());
+        self.tti_states.clear();
+        let mut any_backlog = false;
         for (i, st) in self.flows.iter_mut().enumerate() {
             let itbs = st.channel.itbs_at(now);
-            st.last_itbs = itbs;
+            if itbs != st.last_itbs {
+                st.last_itbs = itbs;
+                st.cached_bits_per_rb = self.config.link_adaptation.bits_per_rb(itbs);
+            }
             if let Some(b) = st.gbr_bucket.as_mut() {
                 b.advance(now);
             }
@@ -347,11 +411,13 @@ impl ENodeB {
                 .as_ref()
                 .map_or(ByteCount::new(u64::MAX), |b| b.available());
             let raw_backlog = st.backlog.unwrap_or(ByteCount::new(u64::MAX / 2));
-            states.push(FlowTtiState {
+            let backlog = raw_backlog.min(mbr_allowance);
+            any_backlog |= !backlog.is_zero();
+            self.tti_states.push(FlowTtiState {
                 flow: FlowId(i as u32),
                 class: st.class,
-                backlog: raw_backlog.min(mbr_allowance),
-                bits_per_rb: self.config.link_adaptation.bits_per_rb(itbs),
+                backlog,
+                bits_per_rb: st.cached_bits_per_rb,
                 gbr_credit: st
                     .gbr_bucket
                     .as_ref()
@@ -359,9 +425,20 @@ impl ENodeB {
             });
         }
 
-        // 2. Schedule.
-        let grants = self.scheduler.allocate(self.config.rbs_per_tti, &states);
-        let granted_total: u32 = grants.iter().map(|g| g.rbs).sum();
+        // 2. Schedule into the reused grants buffer. A backlog-free TTI
+        // takes the scheduler's idle settle when the policy offers one
+        // (grants stay empty either way, so the outcome is identical).
+        let took_idle = !any_backlog && self.scheduler.idle_tick(&self.tti_states);
+        if took_idle {
+            self.tti_grants.clear();
+        } else {
+            self.scheduler.allocate_into(
+                self.config.rbs_per_tti,
+                &self.tti_states,
+                &mut self.tti_grants,
+            );
+        }
+        let granted_total: u32 = self.tti_grants.iter().map(|g| g.rbs).sum();
         assert!(
             granted_total <= self.config.rbs_per_tti,
             "scheduler over-allocated: {granted_total} > {}",
@@ -372,9 +449,10 @@ impl ENodeB {
         // 3. Deliver.
         let mac_sampled = self.trace.tick(Category::Mac);
         let grant_debug = mac_sampled && self.trace.debug_enabled(Category::Mac);
-        let mut delivered = Vec::with_capacity(grants.len());
-        for g in grants {
-            let state = states[g.flow.index()];
+        self.tti_delivered.clear();
+        for gi in 0..self.tti_grants.len() {
+            let g = self.tti_grants[gi];
+            let state = self.tti_states[g.flow.index()];
             let capacity = state.bytes_for_rbs(g.rbs);
             let bytes = capacity.min(state.backlog);
             if grant_debug {
@@ -400,20 +478,34 @@ impl ENodeB {
             st.interval_bytes += bytes;
             st.total_bytes += bytes;
             if !bytes.is_zero() || g.rbs > 0 {
-                delivered.push(Delivered {
+                self.tti_delivered.push(Delivered {
                     flow: g.flow,
                     bytes,
                 });
             }
         }
         if mac_sampled {
+            let sched = self.tti_delivered.len() as u64;
+            let n_flows = self.tti_states.len() as u64;
             self.trace.record(now, Category::Mac, "tti", |e| {
                 e.u64("rbs", u64::from(granted_total))
-                    .u64("sched", delivered.len() as u64)
-                    .u64("flows", states.len() as u64);
+                    .u64("sched", sched)
+                    .u64("flows", n_flows);
             });
         }
-        delivered
+
+        // Arm the quiescent fast path for the next TTI: an idle settle just
+        // happened, every channel is pinned, no lease is ticking, and every
+        // bucket is already at its cap — so the next TTI can only repeat
+        // this one.
+        if took_idle && self.channels_static {
+            self.quiescent = self.flows.iter().all(|st| {
+                st.gbr_expires.is_none()
+                    && st.gbr_bucket.as_ref().is_none_or(TokenBucket::is_full)
+                    && st.mbr_bucket.as_ref().is_none_or(TokenBucket::is_full)
+            });
+        }
+        &self.tti_delivered
     }
 
     /// Drains and returns the per-flow `(n_u, b_u)` counters accumulated
@@ -492,7 +584,7 @@ mod tests {
 
     fn run_ttis(enb: &mut ENodeB, start_ms: u64, n: u64) -> Vec<Vec<Delivered>> {
         (0..n)
-            .map(|i| enb.step_tti(Time::from_millis(start_ms + i)))
+            .map(|i| enb.step_tti(Time::from_millis(start_ms + i)).to_vec())
             .collect()
     }
 

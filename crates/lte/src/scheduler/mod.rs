@@ -75,11 +75,40 @@ pub struct RbAllocation {
 /// Implementations must be deterministic and must never allocate more than
 /// `n_rbs` blocks in total (the eNodeB asserts this).
 pub trait MacScheduler {
-    /// Distributes `n_rbs` resource blocks among `flows` for one TTI.
+    /// Distributes `n_rbs` resource blocks among `flows` for one TTI,
+    /// writing the grants into the caller-owned `grants` buffer.
     ///
-    /// `flows` is ordered by flow id; implementations must break metric ties
-    /// the same way to keep runs reproducible.
-    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation>;
+    /// `grants` is cleared first and then filled; reusing one buffer across
+    /// TTIs keeps the hot path allocation-free after warm-up (the eNodeB
+    /// does exactly that). `flows` is ordered by flow id; implementations
+    /// must break metric ties the same way to keep runs reproducible.
+    fn allocate_into(&mut self, n_rbs: u32, flows: &[FlowTtiState], grants: &mut Vec<RbAllocation>);
+
+    /// Distributes `n_rbs` resource blocks among `flows` for one TTI,
+    /// returning a freshly allocated grant list.
+    ///
+    /// Convenience wrapper over [`MacScheduler::allocate_into`] for callers
+    /// outside the per-TTI hot path; the vector is pre-sized to the flow
+    /// count so grant pushes never reallocate mid-TTI.
+    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation> {
+        let mut grants = Vec::with_capacity(flows.len());
+        self.allocate_into(n_rbs, flows, &mut grants);
+        grants
+    }
+
+    /// Settles one all-idle TTI (every `flows[i].backlog` is zero) without a
+    /// full allocation pass, returning `true` on success.
+    ///
+    /// Policies whose all-idle TTI provably grants nothing and only decays
+    /// internal averages may override this with that cheaper settle; the
+    /// default returns `false`, telling the eNodeB to run
+    /// [`MacScheduler::allocate_into`] as usual. [`StrictGbrPartition`]
+    /// must keep the default: it reserves RBs for idle sliced flows, so even
+    /// a backlog-free TTI produces grants.
+    fn idle_tick(&mut self, flows: &[FlowTtiState]) -> bool {
+        let _ = flows;
+        false
+    }
 
     /// A short human-readable policy name (for experiment logs).
     fn name(&self) -> &'static str;
@@ -90,7 +119,10 @@ pub trait MacScheduler {
 /// an effective window of about one second.
 #[derive(Debug, Clone)]
 pub(crate) struct PfAverages {
-    tc_ttis: f64,
+    /// `1 − 1/tc`, precomputed so the per-flow-per-TTI update divides never.
+    decay: f64,
+    /// `1/tc`, the complementary EWMA gain.
+    gain: f64,
     avgs: Vec<f64>,
 }
 
@@ -98,7 +130,8 @@ impl PfAverages {
     pub(crate) fn new(tc_ttis: f64) -> Self {
         assert!(tc_ttis >= 1.0, "PF time constant must be >= 1 TTI");
         PfAverages {
-            tc_ttis,
+            decay: 1.0 - 1.0 / tc_ttis,
+            gain: 1.0 / tc_ttis,
             avgs: Vec::new(),
         }
     }
@@ -123,65 +156,141 @@ impl PfAverages {
     pub(crate) fn update(&mut self, flow: FlowId, delivered_bits: f64) {
         self.ensure(flow);
         let a = &mut self.avgs[flow.index()];
-        *a = (1.0 - 1.0 / self.tc_ttis) * *a + (1.0 / self.tc_ttis) * delivered_bits * 1000.0;
+        // IEEE: `x + 0.0 == x` for the non-negative averages, so a zero
+        // delivery is a pure decay — same value, half the flops.
+        if delivered_bits == 0.0 {
+            *a *= self.decay;
+        } else {
+            *a = self.decay * *a + self.gain * delivered_bits * 1000.0;
+        }
+    }
+}
+
+/// Reused per-TTI scratch for [`pf_pass`]: remaining backlog and the
+/// memoized PF metric per eligible flow, plus an O(1) granted-RBs lookup
+/// keyed by flow index (the grant list itself stays ordered for output).
+/// Owned by each scheduler so the pass is allocation-free once capacities
+/// stabilize.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PfScratch {
+    remaining: Vec<ByteCount>,
+    metrics: Vec<f64>,
+    granted: Vec<u32>,
+}
+
+impl PfScratch {
+    /// Resets the per-TTI granted-RBs table. Must be called once at the top
+    /// of every `allocate_into` before any [`push_grant`].
+    pub(crate) fn begin_tti(&mut self) {
+        self.granted.clear();
+    }
+
+    /// RBs granted to `flow` so far this TTI.
+    pub(crate) fn granted(&self, flow: FlowId) -> u32 {
+        self.granted.get(flow.index()).copied().unwrap_or(0)
     }
 }
 
 /// Shared helper: greedy PF pass over whatever backlog remains.
 ///
 /// Repeatedly grants the metric-argmax flow enough RBs to drain its backlog
-/// (or whatever is left), updating `grants`. Returns the RBs still free.
+/// (or whatever is left), updating `grants`. `eligible` restricts the pass
+/// to a subset of `flows` by index (ascending, so metric ties still resolve
+/// to the lowest flow id); `None` means every flow. PF metrics depend only
+/// on the averages, which this pass never mutates, so they are computed
+/// once per call instead of once per argmax iteration — same floats, same
+/// selections. Returns the RBs still free.
 pub(crate) fn pf_pass(
     averages: &mut PfAverages,
     mut rbs_left: u32,
     flows: &[FlowTtiState],
-    already_granted: &mut Vec<RbAllocation>,
+    eligible: Option<&[usize]>,
+    grants: &mut Vec<RbAllocation>,
+    scratch: &mut PfScratch,
 ) -> u32 {
-    // Remaining backlog after earlier phases.
-    let mut remaining: Vec<ByteCount> = flows
-        .iter()
-        .map(|f| {
-            let granted = already_granted
-                .iter()
-                .find(|g| g.flow == f.flow)
-                .map_or(0, |g| g.rbs);
+    let flow_at = |j: usize| match eligible {
+        Some(idx) => &flows[idx[j]],
+        None => &flows[j],
+    };
+    let n = eligible.map_or(flows.len(), <[usize]>::len);
+
+    // Remaining backlog after earlier phases, plus the per-flow metric. The
+    // metric (a float division) is only computed for flows that can still
+    // receive a grant; zero-remaining flows are never examined by the argmax
+    // below, so their placeholder is unobservable.
+    scratch.remaining.clear();
+    scratch.metrics.clear();
+    for j in 0..n {
+        let f = flow_at(j);
+        let granted = scratch.granted(f.flow);
+        let remaining = if granted == 0 {
+            f.backlog
+        } else {
             f.backlog.saturating_sub(f.bytes_for_rbs(granted))
-        })
-        .collect();
+        };
+        scratch.remaining.push(remaining);
+        scratch.metrics.push(if remaining.is_zero() {
+            0.0
+        } else {
+            averages.metric(f)
+        });
+    }
 
     while rbs_left > 0 {
         let mut best: Option<(usize, f64)> = None;
-        for (i, f) in flows.iter().enumerate() {
-            if remaining[i].is_zero() {
+        for (j, r) in scratch.remaining.iter().enumerate() {
+            if r.is_zero() {
                 continue;
             }
-            let m = averages.metric(f);
+            let m = scratch.metrics[j];
             // Strictly-greater keeps ties on the lowest flow id.
             if best.is_none_or(|(_, bm)| m > bm) {
-                best = Some((i, m));
+                best = Some((j, m));
             }
         }
-        let Some((i, _)) = best else { break };
-        let f = &flows[i];
-        let want = f.rbs_for_bytes(remaining[i]).min(rbs_left);
+        let Some((j, _)) = best else { break };
+        let f = flow_at(j);
+        let want = f.rbs_for_bytes(scratch.remaining[j]).min(rbs_left);
         let grant = want.max(1).min(rbs_left);
-        push_grant(already_granted, f.flow, grant);
-        let delivered = f.bytes_for_rbs(grant).min(remaining[i]);
-        remaining[i] = remaining[i].saturating_sub(delivered);
+        push_grant(grants, scratch, f.flow, grant);
+        let delivered = f.bytes_for_rbs(grant).min(scratch.remaining[j]);
+        scratch.remaining[j] = scratch.remaining[j].saturating_sub(delivered);
         rbs_left -= grant;
     }
     rbs_left
 }
 
-/// Adds `rbs` to an existing grant for `flow`, or appends a new one.
-pub(crate) fn push_grant(grants: &mut Vec<RbAllocation>, flow: FlowId, rbs: u32) {
+/// Adds `rbs` to an existing grant for `flow`, or appends a new one, keeping
+/// the scratch granted-RBs table in sync.
+pub(crate) fn push_grant(
+    grants: &mut Vec<RbAllocation>,
+    scratch: &mut PfScratch,
+    flow: FlowId,
+    rbs: u32,
+) {
     if rbs == 0 {
         return;
     }
-    if let Some(g) = grants.iter_mut().find(|g| g.flow == flow) {
-        g.rbs += rbs;
+    let idx = flow.index();
+    if idx >= scratch.granted.len() {
+        scratch.granted.resize(idx + 1, 0);
+    }
+    if scratch.granted[idx] > 0 {
+        if let Some(g) = grants.iter_mut().find(|g| g.flow == flow) {
+            g.rbs += rbs;
+        }
     } else {
         grants.push(RbAllocation { flow, rbs });
+    }
+    scratch.granted[idx] += rbs;
+}
+
+/// Settles the PF averages for a grant-free TTI: every flow folds in a zero
+/// delivery, i.e. a pure decay. Exactly [`settle_averages`] with no grants,
+/// skipping the per-flow lookup machinery.
+pub(crate) fn settle_all_idle(averages: &mut PfAverages, flows: &[FlowTtiState]) {
+    for f in flows {
+        averages.update(f.flow, 0.0);
     }
 }
 
@@ -189,14 +298,17 @@ pub(crate) fn push_grant(grants: &mut Vec<RbAllocation>, flow: FlowId, rbs: u32)
 pub(crate) fn settle_averages(
     averages: &mut PfAverages,
     flows: &[FlowTtiState],
-    grants: &[RbAllocation],
+    scratch: &PfScratch,
 ) {
     for f in flows {
-        let rbs = grants
-            .iter()
-            .find(|g| g.flow == f.flow)
-            .map_or(0, |g| g.rbs);
-        let delivered = f.bytes_for_rbs(rbs).min(f.backlog);
+        let rbs = scratch.granted(f.flow);
+        // `bytes_for_rbs(0)` is exactly zero, so ungranted flows fold in a
+        // pure decay without the float round-trip.
+        let delivered = if rbs == 0 {
+            ByteCount::ZERO
+        } else {
+            f.bytes_for_rbs(rbs).min(f.backlog)
+        };
         averages.update(f.flow, delivered.as_bits() as f64);
     }
 }
@@ -254,9 +366,11 @@ mod tests {
     #[test]
     fn push_grant_merges() {
         let mut g = Vec::new();
-        push_grant(&mut g, FlowId(1), 3);
-        push_grant(&mut g, FlowId(1), 2);
-        push_grant(&mut g, FlowId(2), 0);
+        let mut scratch = PfScratch::default();
+        push_grant(&mut g, &mut scratch, FlowId(1), 3);
+        push_grant(&mut g, &mut scratch, FlowId(1), 2);
+        push_grant(&mut g, &mut scratch, FlowId(2), 0);
+        assert_eq!(scratch.granted(FlowId(1)), 5);
         assert_eq!(
             g,
             vec![RbAllocation {

@@ -1,6 +1,9 @@
 //! The legacy proportional fair scheduler.
 
-use super::{pf_pass, settle_averages, FlowTtiState, MacScheduler, PfAverages, RbAllocation};
+use super::{
+    pf_pass, settle_all_idle, settle_averages, FlowTtiState, MacScheduler, PfAverages, PfScratch,
+    RbAllocation,
+};
 
 /// Pure proportional fair scheduling: every TTI, backlogged flows are served
 /// greedily in order of `achievable rate / average throughput`.
@@ -20,6 +23,8 @@ use super::{pf_pass, settle_averages, FlowTtiState, MacScheduler, PfAverages, Rb
 #[derive(Debug, Clone)]
 pub struct ProportionalFair {
     averages: PfAverages,
+    /// Reused per-TTI scratch for the PF pass.
+    scratch: PfScratch,
 }
 
 impl ProportionalFair {
@@ -31,6 +36,7 @@ impl ProportionalFair {
     pub fn new(tc_ttis: f64) -> Self {
         ProportionalFair {
             averages: PfAverages::new(tc_ttis),
+            scratch: PfScratch::default(),
         }
     }
 }
@@ -43,11 +49,29 @@ impl Default for ProportionalFair {
 }
 
 impl MacScheduler for ProportionalFair {
-    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation> {
-        let mut grants = Vec::new();
-        pf_pass(&mut self.averages, n_rbs, flows, &mut grants);
-        settle_averages(&mut self.averages, flows, &grants);
-        grants
+    fn allocate_into(
+        &mut self,
+        n_rbs: u32,
+        flows: &[FlowTtiState],
+        grants: &mut Vec<RbAllocation>,
+    ) {
+        grants.clear();
+        self.scratch.begin_tti();
+        pf_pass(
+            &mut self.averages,
+            n_rbs,
+            flows,
+            None,
+            grants,
+            &mut self.scratch,
+        );
+        settle_averages(&mut self.averages, flows, &self.scratch);
+    }
+
+    fn idle_tick(&mut self, flows: &[FlowTtiState]) -> bool {
+        // A backlog-free PF pass grants nothing; only the averages decay.
+        settle_all_idle(&mut self.averages, flows);
+        true
     }
 
     fn name(&self) -> &'static str {

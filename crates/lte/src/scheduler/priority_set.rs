@@ -1,7 +1,8 @@
 //! The ns-3 Priority Set Scheduler analogue used by the simulation study.
 
 use super::{
-    pf_pass, push_grant, settle_averages, FlowTtiState, MacScheduler, PfAverages, RbAllocation,
+    pf_pass, push_grant, settle_all_idle, settle_averages, FlowTtiState, MacScheduler, PfAverages,
+    PfScratch, RbAllocation,
 };
 
 /// Priority-Set scheduling (Monghal et al., the scheduler the paper modifies
@@ -25,6 +26,10 @@ use super::{
 #[derive(Debug, Clone)]
 pub struct PrioritySetScheduler {
     averages: PfAverages,
+    /// Reused per-TTI scratch for the PF pass.
+    scratch: PfScratch,
+    /// Reused per-TTI index list of the priority set, sorted by deficit.
+    prio: Vec<usize>,
 }
 
 impl PrioritySetScheduler {
@@ -36,6 +41,8 @@ impl PrioritySetScheduler {
     pub fn new(tc_ttis: f64) -> Self {
         PrioritySetScheduler {
             averages: PfAverages::new(tc_ttis),
+            scratch: PfScratch::default(),
+            prio: Vec::new(),
         }
     }
 }
@@ -48,34 +55,59 @@ impl Default for PrioritySetScheduler {
 }
 
 impl MacScheduler for PrioritySetScheduler {
-    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation> {
-        let mut grants = Vec::new();
+    fn allocate_into(
+        &mut self,
+        n_rbs: u32,
+        flows: &[FlowTtiState],
+        grants: &mut Vec<RbAllocation>,
+    ) {
+        grants.clear();
+        self.scratch.begin_tti();
         let mut rbs_left = n_rbs;
 
         // Priority set: flows with outstanding GBR credit, most-starved first
-        // (ties broken by flow id via the stable sort).
-        let mut prio: Vec<&FlowTtiState> = flows
-            .iter()
-            .filter(|f| !f.gbr_credit.min(f.backlog).is_zero())
-            .collect();
-        prio.sort_by(|a, b| {
-            b.gbr_credit
-                .cmp(&a.gbr_credit)
-                .then_with(|| a.flow.cmp(&b.flow))
+        // (ties broken by flow id via the stable sort), selected by index.
+        self.prio.clear();
+        self.prio.extend(
+            flows
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.gbr_credit.min(f.backlog).is_zero())
+                .map(|(i, _)| i),
+        );
+        self.prio.sort_by(|&a, &b| {
+            flows[b]
+                .gbr_credit
+                .cmp(&flows[a].gbr_credit)
+                .then_with(|| flows[a].flow.cmp(&flows[b].flow))
         });
-        for f in prio {
+        for &i in &self.prio {
             if rbs_left == 0 {
                 break;
             }
+            let f = &flows[i];
             let owed = f.gbr_credit.min(f.backlog);
             let want = f.rbs_for_bytes(owed).min(rbs_left);
-            push_grant(&mut grants, f.flow, want);
+            push_grant(grants, &mut self.scratch, f.flow, want);
             rbs_left -= want;
         }
 
-        pf_pass(&mut self.averages, rbs_left, flows, &mut grants);
-        settle_averages(&mut self.averages, flows, &grants);
-        grants
+        pf_pass(
+            &mut self.averages,
+            rbs_left,
+            flows,
+            None,
+            grants,
+            &mut self.scratch,
+        );
+        settle_averages(&mut self.averages, flows, &self.scratch);
+    }
+
+    fn idle_tick(&mut self, flows: &[FlowTtiState]) -> bool {
+        // The priority set requires `min(credit, backlog) > 0`, so an
+        // all-idle TTI grants nothing; only the averages decay.
+        settle_all_idle(&mut self.averages, flows);
+        true
     }
 
     fn name(&self) -> &'static str {

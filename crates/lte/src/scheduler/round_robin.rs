@@ -2,7 +2,7 @@
 
 use flare_sim::units::ByteCount;
 
-use super::{push_grant, FlowTtiState, MacScheduler, RbAllocation};
+use super::{FlowTtiState, MacScheduler, RbAllocation};
 use crate::flows::FlowId;
 
 /// Round-robin scheduling: backlogged flows take turns receiving whole
@@ -24,6 +24,10 @@ use crate::flows::FlowId;
 #[derive(Debug, Clone, Default)]
 pub struct RoundRobin {
     next: Option<FlowId>,
+    /// Reused per-TTI index list of the backlogged flows.
+    backlogged: Vec<usize>,
+    /// Reused per-TTI scratch: remaining backlog per backlogged flow.
+    remaining: Vec<ByteCount>,
 }
 
 impl RoundRobin {
@@ -34,41 +38,65 @@ impl RoundRobin {
 }
 
 impl MacScheduler for RoundRobin {
-    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation> {
-        let mut grants = Vec::new();
+    fn allocate_into(
+        &mut self,
+        n_rbs: u32,
+        flows: &[FlowTtiState],
+        grants: &mut Vec<RbAllocation>,
+    ) {
+        grants.clear();
         let mut rbs_left = n_rbs;
-        let backlogged: Vec<&FlowTtiState> =
-            flows.iter().filter(|f| !f.backlog.is_zero()).collect();
-        if backlogged.is_empty() {
-            return grants;
+        self.backlogged.clear();
+        self.backlogged.extend(
+            flows
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.backlog.is_zero())
+                .map(|(i, _)| i),
+        );
+        if self.backlogged.is_empty() {
+            return;
         }
         // Start from the remembered turn (or the lowest id) and hand out
         // RBs in id order, wrapping, each flow taking what its backlog
         // needs.
         let start = self
             .next
-            .and_then(|next| backlogged.iter().position(|f| f.flow >= next))
+            .and_then(|next| self.backlogged.iter().position(|&f| flows[f].flow >= next))
             .unwrap_or(0);
-        let mut remaining: Vec<ByteCount> = backlogged.iter().map(|f| f.backlog).collect();
-        let count = backlogged.len();
+        self.remaining.clear();
+        self.remaining
+            .extend(self.backlogged.iter().map(|&f| flows[f].backlog));
+        let count = self.backlogged.len();
         let mut i = start;
         let mut visited = 0;
         while rbs_left > 0 && visited < count {
-            let f = backlogged[i % count];
             let idx = i % count;
-            let want = f.rbs_for_bytes(remaining[idx]).min(rbs_left);
+            let f = &flows[self.backlogged[idx]];
+            let want = f.rbs_for_bytes(self.remaining[idx]).min(rbs_left);
             if want > 0 {
-                push_grant(&mut grants, f.flow, want);
-                let delivered = f.bytes_for_rbs(want).min(remaining[idx]);
-                remaining[idx] = remaining[idx].saturating_sub(delivered);
+                // Each backlogged flow is visited at most once per TTI
+                // (`visited < count`), so a plain push never needs merging.
+                grants.push(RbAllocation {
+                    flow: f.flow,
+                    rbs: want,
+                });
+                let delivered = f.bytes_for_rbs(want).min(self.remaining[idx]);
+                self.remaining[idx] = self.remaining[idx].saturating_sub(delivered);
                 rbs_left -= want;
             }
             i += 1;
             visited += 1;
         }
         // Next TTI starts with the flow after the last one served.
-        self.next = Some(backlogged[i % count].flow);
-        grants
+        self.next = Some(flows[self.backlogged[i % count]].flow);
+    }
+
+    fn idle_tick(&mut self, flows: &[FlowTtiState]) -> bool {
+        // With nothing backlogged the turn pointer does not move and no
+        // grants are made; there is no state to settle.
+        let _ = flows;
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -1,7 +1,8 @@
 //! The femtocell Scheduler Module: GBR phase + proportional-fair phase.
 
 use super::{
-    pf_pass, push_grant, settle_averages, FlowTtiState, MacScheduler, PfAverages, RbAllocation,
+    pf_pass, push_grant, settle_all_idle, settle_averages, FlowTtiState, MacScheduler, PfAverages,
+    PfScratch, RbAllocation,
 };
 
 /// Two-phase GBR scheduling, as implemented in the paper's eNodeB MAC
@@ -25,6 +26,8 @@ use super::{
 #[derive(Debug, Clone)]
 pub struct TwoPhaseGbr {
     averages: PfAverages,
+    /// Reused per-TTI scratch for the phase-2 PF pass.
+    scratch: PfScratch,
 }
 
 impl TwoPhaseGbr {
@@ -36,6 +39,7 @@ impl TwoPhaseGbr {
     pub fn new(tc_ttis: f64) -> Self {
         TwoPhaseGbr {
             averages: PfAverages::new(tc_ttis),
+            scratch: PfScratch::default(),
         }
     }
 }
@@ -48,8 +52,14 @@ impl Default for TwoPhaseGbr {
 }
 
 impl MacScheduler for TwoPhaseGbr {
-    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation> {
-        let mut grants = Vec::new();
+    fn allocate_into(
+        &mut self,
+        n_rbs: u32,
+        flows: &[FlowTtiState],
+        grants: &mut Vec<RbAllocation>,
+    ) {
+        grants.clear();
+        self.scratch.begin_tti();
         let mut rbs_left = n_rbs;
 
         // Phase 1: clear GBR credit in flow-id order.
@@ -62,14 +72,27 @@ impl MacScheduler for TwoPhaseGbr {
                 continue;
             }
             let want = f.rbs_for_bytes(owed).min(rbs_left);
-            push_grant(&mut grants, f.flow, want);
+            push_grant(grants, &mut self.scratch, f.flow, want);
             rbs_left -= want;
         }
 
         // Phase 2: PF over whatever backlog remains.
-        pf_pass(&mut self.averages, rbs_left, flows, &mut grants);
-        settle_averages(&mut self.averages, flows, &grants);
-        grants
+        pf_pass(
+            &mut self.averages,
+            rbs_left,
+            flows,
+            None,
+            grants,
+            &mut self.scratch,
+        );
+        settle_averages(&mut self.averages, flows, &self.scratch);
+    }
+
+    fn idle_tick(&mut self, flows: &[FlowTtiState]) -> bool {
+        // Phase 1 is capped by backlog and phase 2 only serves backlog, so
+        // an all-idle TTI grants nothing; only the averages decay.
+        settle_all_idle(&mut self.averages, flows);
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -83,6 +106,10 @@ impl MacScheduler for TwoPhaseGbr {
 #[derive(Debug, Clone)]
 pub struct StrictGbrPartition {
     averages: PfAverages,
+    /// Reused per-TTI scratch for the phase-2 PF pass.
+    scratch: PfScratch,
+    /// Reused per-TTI index partition of the zero-credit flows.
+    non_gbr: Vec<usize>,
 }
 
 impl StrictGbrPartition {
@@ -94,6 +121,8 @@ impl StrictGbrPartition {
     pub fn new(tc_ttis: f64) -> Self {
         StrictGbrPartition {
             averages: PfAverages::new(tc_ttis),
+            scratch: PfScratch::default(),
+            non_gbr: Vec::new(),
         }
     }
 }
@@ -105,8 +134,14 @@ impl Default for StrictGbrPartition {
 }
 
 impl MacScheduler for StrictGbrPartition {
-    fn allocate(&mut self, n_rbs: u32, flows: &[FlowTtiState]) -> Vec<RbAllocation> {
-        let mut grants = Vec::new();
+    fn allocate_into(
+        &mut self,
+        n_rbs: u32,
+        flows: &[FlowTtiState],
+        grants: &mut Vec<RbAllocation>,
+    ) {
+        grants.clear();
+        self.scratch.begin_tti();
         let mut rbs_left = n_rbs;
         for f in flows {
             if rbs_left == 0 {
@@ -121,18 +156,28 @@ impl MacScheduler for StrictGbrPartition {
                 continue;
             }
             let want = f.rbs_for_bytes(owed).min(rbs_left);
-            push_grant(&mut grants, f.flow, want);
+            push_grant(grants, &mut self.scratch, f.flow, want);
             rbs_left -= want;
         }
-        // Phase 2 restricted to flows *without* a GBR bearer.
-        let non_gbr: Vec<FlowTtiState> = flows
-            .iter()
-            .filter(|f| f.gbr_credit.is_zero())
-            .copied()
-            .collect();
-        pf_pass(&mut self.averages, rbs_left, &non_gbr, &mut grants);
-        settle_averages(&mut self.averages, flows, &grants);
-        grants
+        // Phase 2 restricted to flows *without* a GBR bearer, selected by
+        // index instead of copying their state out.
+        self.non_gbr.clear();
+        self.non_gbr.extend(
+            flows
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.gbr_credit.is_zero())
+                .map(|(i, _)| i),
+        );
+        pf_pass(
+            &mut self.averages,
+            rbs_left,
+            flows,
+            Some(&self.non_gbr),
+            grants,
+            &mut self.scratch,
+        );
+        settle_averages(&mut self.averages, flows, &self.scratch);
     }
 
     fn name(&self) -> &'static str {

@@ -97,6 +97,9 @@ pub struct LinkAdaptation {
     /// Multiplier on the single-layer TBS, modelling spatial multiplexing
     /// (2.0 ≈ 2×2 MIMO, the JL-620's configuration).
     spatial_multiplexing: f64,
+    /// `TBS_1PRB_BITS[i] * spatial_multiplexing`, precomputed once at
+    /// construction so the per-TTI path is a plain indexed load.
+    scaled_bits: [f64; TBS_1PRB_BITS.len()],
 }
 
 impl LinkAdaptation {
@@ -111,14 +114,19 @@ impl LinkAdaptation {
             spatial_multiplexing > 0.0 && spatial_multiplexing <= 8.0,
             "spatial multiplexing gain must be in (0, 8]"
         );
+        let mut scaled_bits = [0.0; TBS_1PRB_BITS.len()];
+        for (scaled, &bits) in scaled_bits.iter_mut().zip(TBS_1PRB_BITS.iter()) {
+            *scaled = f64::from(bits) * spatial_multiplexing;
+        }
         LinkAdaptation {
             spatial_multiplexing,
+            scaled_bits,
         }
     }
 
     /// Deliverable bits for one PRB over one TTI at the given operating point.
     pub fn bits_per_rb(&self, itbs: Itbs) -> f64 {
-        f64::from(TBS_1PRB_BITS[usize::from(itbs.0)]) * self.spatial_multiplexing
+        self.scaled_bits[usize::from(itbs.0)]
     }
 
     /// Deliverable whole bytes for `n_rb` PRBs over one TTI.

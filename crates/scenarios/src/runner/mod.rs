@@ -403,6 +403,9 @@ impl CellSim {
         let mut total_bytes = vec![0u64; n_video + n_data];
         let mut solve_times = Vec::new();
 
+        // Countdown instead of `(ms + 1) % bai_ms`: the modulo is a genuine
+        // 64-bit division against a runtime value, once per simulated TTI.
+        let mut bai_countdown = bai_ms;
         for ms in 0..duration_ms {
             let tti_start = Time::from_millis(ms);
             let tti_end = Time::from_millis(ms + 1);
@@ -484,7 +487,12 @@ impl CellSim {
             // 4. Control-plane deliveries (delayed/reordered messages land
             // between BAIs), then the BAI boundary itself.
             self.poll_control(tti_end);
-            if (ms + 1) % bai_ms == 0 {
+            bai_countdown -= 1;
+            let bai_boundary = bai_countdown == 0;
+            if bai_boundary {
+                bai_countdown = bai_ms;
+            }
+            if bai_boundary {
                 self.run_bai(tti_end, &mut solve_times);
                 // A perfect (zero-delay) control plane delivers this BAI's
                 // messages within the same tick.

@@ -8,10 +8,14 @@
 
 use std::time::{Duration, Instant};
 
-use flare_core::SolveMode;
+use flare_core::{FlareConfig, SolveMode};
 use flare_sim::rng::stream;
+use flare_sim::TimeDelta;
 use flare_solver::{round_down, solve_discrete, solve_relaxed, FlowSpec, ProblemSpec};
 use rand::Rng;
+
+use crate::cell::static_run;
+use crate::config::SchemeKind;
 
 /// Builds one per-BAI assignment problem with `n_clients` video flows whose
 /// channel efficiencies are drawn from the full iTbs range.
@@ -70,6 +74,70 @@ pub fn as_millis(times: &[Duration]) -> Vec<f64> {
     times.iter().map(|t| t.as_secs_f64() * 1000.0).collect()
 }
 
+/// Outcome of one multi-cell scaling sweep: `cells` independent FLARE cells
+/// (the fig6 static workload) fanned through the harness worker pool.
+///
+/// This is the COMETS-style many-cell headroom demonstration: wall-clock to
+/// simulate N cells, and the aggregate TTI rate the machine sustained.
+#[derive(Debug, Clone)]
+pub struct MultiCellScaling {
+    /// Number of independent cells simulated.
+    pub cells: usize,
+    /// Simulated duration of each cell.
+    pub duration: TimeDelta,
+    /// Worker threads used (`0` = all cores, `1` = serial).
+    pub jobs: usize,
+    /// Total wall-clock time for the whole sweep.
+    pub wall: Duration,
+    /// Total TTIs simulated across all cells (1 TTI per simulated ms).
+    pub ttis: u64,
+}
+
+impl MultiCellScaling {
+    /// Aggregate simulated TTIs per wall-clock second.
+    pub fn ttis_per_sec(&self) -> f64 {
+        self.ttis as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Simulates `cells` independent FLARE cells of `duration` each (seeds
+/// `seed..seed+cells`) on up to `jobs` worker threads and reports the
+/// aggregate TTI throughput.
+///
+/// Each cell is the fig6 static scenario (8 stationary video UEs); results
+/// are seed-deterministic and bit-identical to a serial loop per the
+/// [`flare_harness::run_indexed`] contract, so only the wall clock moves.
+pub fn multi_cell_sweep(
+    cells: usize,
+    duration: TimeDelta,
+    seed: u64,
+    jobs: usize,
+) -> MultiCellScaling {
+    let started = Instant::now();
+    let runs = flare_harness::run_indexed(cells, jobs, |i| {
+        static_run(
+            SchemeKind::Flare(FlareConfig::default()),
+            seed + i as u64,
+            duration,
+        )
+    });
+    let wall = started.elapsed();
+    assert_eq!(runs.len(), cells, "pool must complete every cell");
+    // A run that produced no video samples would mean the sweep measured an
+    // empty simulation; guard against benchmarking a no-op.
+    assert!(
+        runs.iter().all(|r| !r.videos.is_empty()),
+        "every cell must simulate its video clients"
+    );
+    MultiCellScaling {
+        cells,
+        duration,
+        jobs,
+        wall,
+        ttis: cells as u64 * duration.as_millis(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +166,15 @@ mod tests {
         );
         // And not absurdly non-monotone (allow noise at these tiny times).
         assert!(mean(&t128) >= mean(&t32) * 0.2);
+    }
+
+    #[test]
+    fn multi_cell_sweep_counts_every_tti() {
+        let sweep = multi_cell_sweep(2, TimeDelta::from_secs(5), 11, 2);
+        assert_eq!(sweep.cells, 2);
+        assert_eq!(sweep.ttis, 10_000);
+        assert!(sweep.wall > Duration::ZERO);
+        assert!(sweep.ttis_per_sec() > 0.0);
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Discrete solvers for the exact ladder-constrained problem.
 
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
 use crate::spec::ProblemSpec;
 use crate::utility::data_utility;
 use crate::{finish, DiscreteSolution};
@@ -64,6 +67,37 @@ impl<'a> Eval<'a> {
     }
 }
 
+/// A cached marginal gain for upgrading one flow a single ladder level,
+/// ordered so the [`BinaryHeap`] pops the largest gain first and breaks
+/// exact ties toward the lowest flow index (matching the strict `>` of the
+/// linear scan this heap replaces).
+struct Upgrade {
+    delta: f64,
+    flow: usize,
+}
+
+impl Ord for Upgrade {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.delta
+            .total_cmp(&other.delta)
+            .then_with(|| Reverse(self.flow).cmp(&Reverse(other.flow)))
+    }
+}
+
+impl PartialOrd for Upgrade {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Upgrade {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Upgrade {}
+
 /// Solves the exact discrete problem by greedy marginal-gain ascent followed
 /// by a single-move and pairwise-swap local search.
 ///
@@ -86,26 +120,49 @@ pub fn solve_discrete(spec: &ProblemSpec) -> DiscreteSolution {
     // Accepted state transitions, reported as `DiscreteSolution::steps`.
     let mut steps: u64 = 0;
 
-    // Greedy ascent on single-level upgrades.
-    loop {
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..eval.levels.len() {
-            if eval.levels[i] >= spec.flows()[i].max_level() {
-                continue;
-            }
-            let d = eval.delta(i, eval.levels[i] + 1);
-            if d > EPS && best.is_none_or(|(_, bd)| d > bd) {
-                best = Some((i, d));
-            }
+    // Greedy ascent on single-level upgrades, organised as a CELF-style
+    // lazy-invalidation max-heap over cached marginal gains instead of an
+    // O(n) rescan per accepted step. The data-utility penalty is concave in
+    // used RBs and ladders ascend strictly, so accepting any upgrade only
+    // *shrinks* every other flow's gain: cached keys are upper bounds, and
+    // a popped entry whose freshly recomputed gain still tops the heap is
+    // the true argmax. The accepted sequence (and thus `steps` and the
+    // final levels) is identical to the scan's, step for step.
+    let mut heap: BinaryHeap<Upgrade> = BinaryHeap::with_capacity(eval.levels.len());
+    for i in 0..eval.levels.len() {
+        if eval.levels[i] >= spec.flows()[i].max_level() {
+            continue;
         }
-        match best {
-            Some((i, _)) => {
+        let delta = eval.delta(i, eval.levels[i] + 1);
+        if delta > EPS {
+            heap.push(Upgrade { delta, flow: i });
+        }
+    }
+    while let Some(popped) = heap.pop() {
+        let i = popped.flow;
+        let delta = eval.delta(i, eval.levels[i] + 1);
+        if delta > EPS {
+            let fresh = Upgrade { delta, flow: i };
+            if heap.peek().is_some_and(|top| *top > fresh) {
+                // Stale: a rival's cached bound beats the fresh gain.
+                heap.push(fresh);
+            } else {
                 let to = eval.levels[i] + 1;
                 eval.apply(i, to);
                 steps += 1;
+                if eval.levels[i] < spec.flows()[i].max_level() {
+                    let next = eval.delta(i, eval.levels[i] + 1);
+                    if next > EPS {
+                        heap.push(Upgrade {
+                            delta: next,
+                            flow: i,
+                        });
+                    }
+                }
             }
-            None => break,
         }
+        // A non-positive fresh gain can never recover (monotone shrinkage),
+        // so the flow simply leaves the ascent.
     }
 
     // Local-search polish: single moves and pairwise swaps.
