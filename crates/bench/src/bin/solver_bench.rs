@@ -1,0 +1,106 @@
+//! Cold-vs-warm solver scaling benchmark.
+//!
+//! ```text
+//! solver_bench [--quick] [--seed K] [OUT.json]
+//! ```
+//!
+//! Runs the per-BAI exact solve over consecutive synthetic BAI sequences
+//! (`synthetic_problem_sequence`: low inter-BAI churn, as a real cell
+//! produces) at 32 to 512 clients, cold (`solve_discrete` from scratch
+//! every BAI) and warm ([`WarmSolver`] carrying utility tables and the
+//! last solution across BAIs). All timing is serial on the calling thread
+//! — the same no-contention rule as `measure_solve_times`.
+//!
+//! Every warm solution is asserted bit-identical to the cold one before a
+//! single number is reported (levels, `steps`, and the f64 bit patterns of
+//! `r` and the objective), so the file can never contain a speedup bought
+//! with drift.
+
+use std::time::{Duration, Instant};
+
+use flare_bench::parse_params;
+use flare_scenarios::scaling::{as_millis, synthetic_problem_sequence};
+use flare_solver::{solve_discrete, WarmSolver};
+
+fn total_ms(times: &[Duration]) -> f64 {
+    as_millis(times).iter().sum()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (params, rest) = parse_params(&args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out = "BENCH_solver.json".to_owned();
+    for arg in rest {
+        out = arg;
+    }
+
+    let seed = params.seed;
+    let n_bais = if quick { 6 } else { 24 };
+    // Between consecutive 10 s BAIs only a minority of channels move enough
+    // to change a flow's RB cost; 20% churn is deliberately pessimistic.
+    let churn = 0.2;
+    let sizes: &[usize] = if quick {
+        &[32, 256]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        eprintln!("{n} clients x {n_bais} BAIs (churn {churn}) ...");
+        let specs = synthetic_problem_sequence(n, n_bais, seed, churn);
+
+        // Cold: every BAI pays the full ascent from level 0.
+        let mut cold_times = Vec::with_capacity(n_bais);
+        let mut cold_solutions = Vec::with_capacity(n_bais);
+        for spec in &specs {
+            let started = Instant::now();
+            let sol = solve_discrete(spec);
+            cold_times.push(started.elapsed());
+            cold_solutions.push(sol);
+        }
+
+        // Warm: tables and the previous solution carry across BAIs.
+        let mut warm = WarmSolver::new();
+        let mut warm_times = Vec::with_capacity(n_bais);
+        for (i, spec) in specs.iter().enumerate() {
+            // The clone stands in for the spec the server would build and
+            // hand over; it stays outside the timed region.
+            let owned = spec.clone();
+            let started = Instant::now();
+            let sol = warm.solve(owned);
+            warm_times.push(started.elapsed());
+            let cold = &cold_solutions[i];
+            assert!(
+                sol.levels == cold.levels
+                    && sol.steps == cold.steps
+                    && sol.r.to_bits() == cold.r.to_bits()
+                    && sol.objective.to_bits() == cold.objective.to_bits(),
+                "warm solve {i} at {n} clients deviates from cold; refusing to benchmark"
+            );
+        }
+
+        let cold_ms = total_ms(&cold_times);
+        let warm_ms = total_ms(&warm_times);
+        rows.push(format!(
+            "    {{ \"clients\": {n}, \"bais\": {n_bais}, \"cold_total_ms\": {cold_ms:.3}, \
+             \"warm_total_ms\": {warm_ms:.3}, \"speedup\": {:.2}, \"warm_hits\": {}, \
+             \"reseeded_flows\": {}, \"flow_slots\": {} }}",
+            cold_ms / warm_ms.max(1e-9),
+            warm.hits(),
+            warm.reseeded_flows(),
+            n * n_bais,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"per-BAI exact solve, cold vs warm-start\",\n  \
+         \"workload\": \"synthetic consecutive-BAI sequences, churn {churn}, serial timing\",\n  \
+         \"seed\": {seed},\n  \"bit_identical\": true,\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write benchmark file");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

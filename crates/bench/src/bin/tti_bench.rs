@@ -16,9 +16,11 @@
 //!   sides of a before/after comparison.
 //! * `--floor X` exits non-zero when the measured rate falls below `X` —
 //!   the CI perf-smoke gate.
-//! * `--cells N` additionally fans N independent cells of `--cell-secs`
-//!   seconds through the harness pool (`--jobs`) and records the aggregate
-//!   rate — the multi-cell scaling demonstration.
+//! * `--cells N` additionally runs N cells of `--cell-secs` seconds through
+//!   the sharded `MultiCellSim` engine (`--jobs` workers, BAI-barrier
+//!   coordination) and records the aggregate rate — the multi-cell scaling
+//!   demonstration. See `multicell_bench` for the full serial-vs-sharded
+//!   comparison.
 //!
 //! Before measuring, the fig6 run is executed twice at a short duration and
 //! the per-client rate series are compared, so the file never reports a
@@ -127,11 +129,14 @@ fn main() {
     if let Some(s) = &sweep {
         json.push_str(&format!(
             ",\n  \"multicell\": {{\n    \"cells\": {},\n    \"cell_secs\": {},\n    \
-             \"jobs\": {},\n    \"wall_ms\": {:.1},\n    \"ttis\": {},\n    \
+             \"jobs\": {},\n    \"coordinated\": {},\n    \"bai_barriers\": {},\n    \
+             \"wall_ms\": {:.1},\n    \"ttis\": {},\n    \
              \"ttis_per_sec\": {:.0}\n  }}",
             s.cells,
             s.duration.as_millis() / 1000,
             s.jobs,
+            s.coordinated,
+            s.barriers,
             s.wall.as_secs_f64() * 1000.0,
             s.ttis,
             s.ttis_per_sec(),

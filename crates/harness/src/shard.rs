@@ -1,0 +1,333 @@
+//! Persistent shard-owning worker pool with a full-barrier `each`.
+//!
+//! [`run_indexed`](crate::pool::run_indexed) parallelises *independent*
+//! runs: each job builds, runs, and discards its own state inside the job
+//! closure. A sharded multi-cell simulation is different in two ways: shard
+//! state (a whole cell simulation) must *persist* across many rounds of
+//! work separated by coordination barriers, and that state is deliberately
+//! not [`Send`] (a cell shares assignment state between plugin and player
+//! via `Rc`). [`ShardPool`] therefore inverts the ownership: worker threads
+//! **build and own** their shards from a `Send + Sync` builder, and callers
+//! ship boxed closures to the shards instead of shipping shards into
+//! closures. Only the builder, the round closures, and the per-round
+//! results ever cross a thread boundary.
+//!
+//! [`ShardPool::each`] is a full barrier: it returns only once every shard
+//! has finished the round, with results merged in shard-index order
+//! regardless of which worker ran which shard. With `jobs <= 1` the pool
+//! degenerates to a caller-thread loop in ascending shard order — the
+//! reference execution the threaded pool must match bit-for-bit. Shard
+//! construction and per-round work must therefore not depend on cross-shard
+//! ordering; per-shard seeded RNG streams and per-shard trace recorders
+//! satisfy this by construction.
+
+use std::any::Any;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::pool::effective_jobs;
+
+/// A unit of work executed by a worker against the shards it owns.
+///
+/// The closure only captures `Send` data; the `&mut Vec` it receives lives
+/// on the worker thread, which is what lets `S` itself be `!Send`.
+type Command<S> = Box<dyn FnOnce(&mut Vec<(usize, S)>) + Send>;
+
+/// A pool of `n_shards` persistent stateful shards spread over worker
+/// threads, driven in rounds by [`ShardPool::each`].
+pub struct ShardPool<S> {
+    n_shards: usize,
+    inner: Inner<S>,
+}
+
+enum Inner<S> {
+    /// `jobs <= 1`: shards live on the caller thread in ascending index
+    /// order. This is the serial reference execution.
+    Serial(Vec<(usize, S)>),
+    Threaded(Vec<Worker<S>>),
+}
+
+struct Worker<S> {
+    sender: Sender<Command<S>>,
+    handle: JoinHandle<()>,
+}
+
+fn worker_loop<S>(
+    mine: Vec<usize>,
+    builder: Arc<dyn Fn(usize) -> S + Send + Sync>,
+    rx: Receiver<Command<S>>,
+) {
+    let mut shards: Vec<(usize, S)> = mine.into_iter().map(|i| (i, builder(i))).collect();
+    while let Ok(cmd) = rx.recv() {
+        cmd(&mut shards);
+    }
+}
+
+impl<S: 'static> ShardPool<S> {
+    /// Builds `n_shards` shards via `builder(shard_index)` on up to `jobs`
+    /// worker threads (`0` = all cores; `<= 1` = serial on the caller).
+    ///
+    /// Shards are dealt round-robin: worker `w` of `W` owns shards
+    /// `w, w+W, w+2W, …` and builds them in ascending index order.
+    /// Construction must not depend on cross-shard ordering.
+    pub fn build<B>(n_shards: usize, jobs: usize, builder: B) -> Self
+    where
+        B: Fn(usize) -> S + Send + Sync + 'static,
+    {
+        let workers = effective_jobs(jobs).min(n_shards.max(1));
+        if workers <= 1 {
+            let shards = (0..n_shards).map(|i| (i, builder(i))).collect();
+            return ShardPool {
+                n_shards,
+                inner: Inner::Serial(shards),
+            };
+        }
+        let builder: Arc<dyn Fn(usize) -> S + Send + Sync> = Arc::new(builder);
+        let workers = (0..workers)
+            .map(|w| {
+                let mine: Vec<usize> = (w..n_shards).step_by(workers).collect();
+                let builder = Arc::clone(&builder);
+                let (sender, rx) = channel::<Command<S>>();
+                let handle = std::thread::spawn(move || worker_loop(mine, builder, rx));
+                Worker { sender, handle }
+            })
+            .collect();
+        ShardPool {
+            n_shards,
+            inner: Inner::Threaded(workers),
+        }
+    }
+
+    /// Number of shards in the pool.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Number of OS threads executing shard work (1 = serial caller thread).
+    pub fn workers(&self) -> usize {
+        match &self.inner {
+            Inner::Serial(_) => 1,
+            Inner::Threaded(ws) => ws.len(),
+        }
+    }
+
+    /// Runs `f(shard_index, &mut shard)` on every shard and returns the
+    /// results in shard-index order. This is a full barrier: no shard can
+    /// observe the next round before every shard has finished this one.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the original payload if `f` panics on any shard (the pool
+    /// is torn down first, so the failure is not silently retried).
+    pub fn each<T, F>(&mut self, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize, &mut S) -> T + Send + Sync + 'static,
+    {
+        let n_shards = self.n_shards;
+        match &mut self.inner {
+            Inner::Serial(shards) => shards.iter_mut().map(|(i, s)| f(*i, s)).collect(),
+            Inner::Threaded(workers) => {
+                let f = Arc::new(f);
+                let (tx, rx) = channel::<(usize, T)>();
+                let mut dead = false;
+                for worker in workers.iter() {
+                    let f = Arc::clone(&f);
+                    let tx = tx.clone();
+                    let cmd: Command<S> = Box::new(move |shards| {
+                        for (i, s) in shards.iter_mut() {
+                            let out = f(*i, s);
+                            // A dropped receiver means the caller is
+                            // already unwinding; the result has nowhere
+                            // useful to go.
+                            let _ = tx.send((*i, out));
+                        }
+                    });
+                    if worker.sender.send(cmd).is_err() {
+                        // The worker died in an earlier round; join below
+                        // re-raises its payload.
+                        dead = true;
+                        break;
+                    }
+                }
+                // The receive loop must see disconnection, not block on the
+                // caller's own sender.
+                drop(tx);
+                if dead {
+                    Self::teardown(workers);
+                }
+                let mut slots: Vec<Option<T>> = (0..n_shards).map(|_| None).collect();
+                let mut received = 0usize;
+                while received < n_shards {
+                    match rx.recv() {
+                        Ok((i, out)) => {
+                            slots[i] = Some(out);
+                            received += 1;
+                        }
+                        Err(_) => Self::teardown(workers),
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("worker finished round without producing its result"))
+                    .collect()
+            }
+        }
+    }
+
+    /// Consumes the pool, draining every shard through `f(shard_index,
+    /// shard)`, and returns the results in shard-index order after joining
+    /// all workers.
+    pub fn finish<R, F>(mut self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize, S) -> R + Send + Sync + 'static,
+    {
+        let n_shards = self.n_shards;
+        match std::mem::replace(&mut self.inner, Inner::Serial(Vec::new())) {
+            Inner::Serial(shards) => shards.into_iter().map(|(i, s)| f(i, s)).collect(),
+            Inner::Threaded(mut workers) => {
+                let f = Arc::new(f);
+                let (tx, rx) = channel::<(usize, R)>();
+                let mut dead = false;
+                for worker in workers.iter() {
+                    let f = Arc::clone(&f);
+                    let tx = tx.clone();
+                    let cmd: Command<S> = Box::new(move |shards| {
+                        for (i, s) in shards.drain(..) {
+                            let _ = tx.send((i, f(i, s)));
+                        }
+                    });
+                    if worker.sender.send(cmd).is_err() {
+                        dead = true;
+                        break;
+                    }
+                }
+                drop(tx);
+                if dead {
+                    Self::teardown(&mut workers);
+                }
+                let mut slots: Vec<Option<R>> = (0..n_shards).map(|_| None).collect();
+                let mut received = 0usize;
+                while received < n_shards {
+                    match rx.recv() {
+                        Ok((i, out)) => {
+                            slots[i] = Some(out);
+                            received += 1;
+                        }
+                        Err(_) => Self::teardown(&mut workers),
+                    }
+                }
+                for worker in workers.drain(..) {
+                    drop(worker.sender);
+                    if let Err(payload) = worker.handle.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("worker exited without draining its shards"))
+                    .collect()
+            }
+        }
+    }
+
+    /// Joins every worker and re-raises the first panic payload. Called
+    /// when a round ends early (a worker disconnected), so the pool is
+    /// already broken.
+    fn teardown(workers: &mut Vec<Worker<S>>) -> ! {
+        let mut payload: Option<Box<dyn Any + Send>> = None;
+        for worker in workers.drain(..) {
+            drop(worker.sender);
+            if let Err(p) = worker.handle.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        match payload {
+            Some(p) => std::panic::resume_unwind(p),
+            None => panic!("shard worker disconnected without panicking"),
+        }
+    }
+}
+
+impl<S> Drop for ShardPool<S> {
+    fn drop(&mut self) {
+        if let Inner::Threaded(workers) = &mut self.inner {
+            for worker in workers.drain(..) {
+                drop(worker.sender);
+                // Ignore the join result: if the worker panicked we are
+                // either already unwinding from `teardown` or the caller
+                // abandoned the pool, and a panic-in-drop would abort.
+                let _ = worker.handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// A deliberately `!Send` shard: the pool must work with `Rc` state.
+    fn counter_pool(n: usize, jobs: usize) -> ShardPool<Rc<Cell<u64>>> {
+        ShardPool::build(n, jobs, |i| Rc::new(Cell::new(i as u64)))
+    }
+
+    #[test]
+    fn each_returns_results_in_shard_order() {
+        for jobs in [1, 2, 4, 8] {
+            let mut pool = counter_pool(9, jobs);
+            let out = pool.each(|i, s| (i as u64) * 100 + s.get());
+            assert_eq!(out, (0..9).map(|i| i as u64 * 101).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn state_persists_across_rounds_and_matches_serial() {
+        let run = |jobs: usize| {
+            let mut pool = counter_pool(7, jobs);
+            for round in 0..5u64 {
+                pool.each(move |i, s| {
+                    s.set(s.get().wrapping_mul(31).wrapping_add(round + i as u64));
+                });
+            }
+            pool.finish(|i, s| (i, s.get()))
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial.len(), 7);
+    }
+
+    #[test]
+    fn empty_pool_is_fine() {
+        let mut pool = counter_pool(0, 4);
+        assert_eq!(pool.each(|_, s| s.get()), Vec::<u64>::new());
+        assert_eq!(pool.finish(|_, s| s.get()), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn more_workers_than_shards_caps_at_shard_count() {
+        let pool = counter_pool(2, 16);
+        assert!(pool.workers() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard 3 exploded")]
+    fn shard_panics_propagate_with_payload() {
+        let mut pool = counter_pool(6, 3);
+        pool.each(|i, _| {
+            if i == 3 {
+                panic!("shard 3 exploded");
+            }
+        });
+    }
+
+    #[test]
+    fn dropping_a_live_pool_joins_workers() {
+        let pool = counter_pool(4, 2);
+        drop(pool); // must not hang or leak threads
+    }
+}

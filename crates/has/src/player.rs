@@ -207,6 +207,13 @@ impl Player {
         &self.records
     }
 
+    /// Reserves capacity for `n` segment records up front so steady-state
+    /// playback never reallocates the record log (a run completes at most
+    /// one record per MPD segment).
+    pub fn reserve_records(&mut self, n: usize) {
+        self.records.reserve(n.saturating_sub(self.records.len()));
+    }
+
     /// Advances playback by `dt` ending at time `now`, and issues the next
     /// segment request if the player is idle and hungry.
     ///

@@ -36,6 +36,12 @@ impl TimeSeries {
         &self.label
     }
 
+    /// Reserves capacity for at least `additional` further samples, so
+    /// callers with a known sample budget can keep `push` reallocation-free.
+    pub fn reserve(&mut self, additional: usize) {
+        self.points.reserve(additional);
+    }
+
     /// Appends a sample.
     ///
     /// # Panics

@@ -555,9 +555,9 @@ impl ScalingFigure {
 
 /// Figure 9: solve-time CDFs for 32, 64, and 128 video clients.
 ///
-/// `jobs > 1` fans solves across cores: the solutions are identical but the
-/// timing samples include scheduler contention, so paper-grade timing runs
-/// should pass `jobs = 1`.
+/// Timing samples are always taken serially on the calling thread, even
+/// with `jobs > 1` (see [`measure_solve_times`]), so the CDFs are free of
+/// worker-pool contention at any jobs setting.
 pub fn fig9(iterations: usize, seed: u64, jobs: usize) -> ScalingFigure {
     let points = [32usize, 64, 128]
         .into_iter()

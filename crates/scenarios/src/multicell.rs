@@ -1,0 +1,213 @@
+//! Sharded multi-cell engine: N cells stepped concurrently with a
+//! deterministic barrier at every BAI boundary.
+//!
+//! The paper's OneAPI entity oversees many cells at once, but each cell's
+//! per-BAI solve is independent (Section II-A), which makes the BAI
+//! boundary the *only* point where coordination work happens. The engine
+//! exploits exactly that structure:
+//!
+//! 1. Every cell is a [`CellStepper`] shard owned by a persistent worker
+//!    on a [`ShardPool`] (cells are `!Send`; workers build and keep them).
+//! 2. A round of `advance_to_bai` steps every shard to its next BAI
+//!    boundary. The pool's full barrier guarantees no shard runs ahead.
+//! 3. A round of `bai_boundary` executes the coordination step — the
+//!    per-cell `solve_discrete` calls fan out across the same workers —
+//!    and installs assignments before any shard enters the next BAI.
+//!
+//! # Determinism contract
+//!
+//! Sharded execution is **byte-identical** to serial (`jobs = 1`)
+//! execution: each cell draws from its own seeded RNG streams, records
+//! into its own [`TraceHandle`], and never reads another cell's state, so
+//! the worker count only changes *where* a cell is stepped, never *what*
+//! it computes. Results and traces are merged in cell-index order. The
+//! contract is pinned by `tests/sharded.rs` (byte-equal JSONL per cell)
+//! and re-asserted by `multicell_bench` before it reports any speedup.
+//! See DESIGN.md §12.
+
+use flare_harness::ShardPool;
+use flare_sim::Time;
+use flare_trace::{TraceConfig, TraceHandle};
+
+use crate::config::SimConfig;
+use crate::runner::{CellSim, CellStepper, RunResult};
+
+/// One worker-owned cell: the stepper plus the recording trace handle (if
+/// per-cell traces were requested) used to export JSONL at the end.
+struct Shard {
+    stepper: CellStepper,
+    trace: Option<TraceHandle>,
+}
+
+/// The merged outcome of a multi-cell run, in cell-index order.
+#[derive(Debug)]
+pub struct MultiCellOutcome {
+    /// Per-cell results, index `i` = cell `i` (identical to running cell
+    /// `i`'s config through [`CellSim::run`] on its own).
+    pub results: Vec<RunResult>,
+    /// Per-cell JSONL traces when tracing was requested, else `None`s.
+    pub traces: Vec<Option<String>>,
+    /// Number of BAI barriers executed (same for every cell by lockstep).
+    pub barriers: u64,
+    /// Worker threads that actually stepped shards (1 = serial reference).
+    pub workers: usize,
+}
+
+/// N concurrently stepped [`CellSim`] shards with a deterministic BAI
+/// barrier. See the module docs for the contract.
+pub struct MultiCellSim {
+    pool: ShardPool<Shard>,
+}
+
+impl MultiCellSim {
+    /// Builds `cells` shards on up to `jobs` workers (`0` = all cores,
+    /// `<= 1` = serial on the caller thread — the reference execution).
+    ///
+    /// `config_of(i)` produces cell `i`'s [`SimConfig`] *on the worker
+    /// that owns the shard*; it must be deterministic in `i` and give every
+    /// cell the same `duration` and `bai` (the lockstep barrier asserts
+    /// this at run time). When `record_traces` is set, each cell gets its
+    /// own recording [`TraceHandle`] (any handle already present in the
+    /// config is replaced) whose JSONL lands in
+    /// [`MultiCellOutcome::traces`].
+    pub fn new<C>(cells: usize, jobs: usize, record_traces: bool, config_of: C) -> Self
+    where
+        C: Fn(usize) -> SimConfig + Send + Sync + 'static,
+    {
+        let pool = ShardPool::build(cells, jobs, move |i| {
+            let mut config = config_of(i);
+            let trace = record_traces.then(|| {
+                let trace = TraceHandle::new(TraceConfig::info());
+                config.trace = trace.clone();
+                trace
+            });
+            Shard {
+                stepper: CellSim::new(config).into_stepper(),
+                trace,
+            }
+        });
+        MultiCellSim { pool }
+    }
+
+    /// Runs every cell to completion, barriering at each BAI boundary, and
+    /// returns the merged outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cells fall out of lockstep (mismatched `duration` or
+    /// `bai` across configs), or if any shard panics (the payload is
+    /// re-raised on this thread).
+    pub fn run(mut self) -> MultiCellOutcome {
+        let mut barriers = 0u64;
+        loop {
+            let boundaries: Vec<Option<Time>> =
+                self.pool.each(|_, shard| shard.stepper.advance_to_bai());
+            let Some(&first) = boundaries.first() else {
+                break; // zero cells
+            };
+            for (cell, boundary) in boundaries.iter().enumerate() {
+                assert_eq!(
+                    *boundary, first,
+                    "cells out of lockstep: cell 0 at {first:?}, cell {cell} at {boundary:?} \
+                     (all cells must share `duration` and `bai`)"
+                );
+            }
+            if first.is_none() {
+                break; // every cell exhausted its duration
+            }
+            barriers += 1;
+            // The coordination step: per-cell solves run on the same
+            // workers, and every assignment is installed before any shard
+            // can enter the next BAI (the `each` barrier).
+            self.pool.each(|_, shard| shard.stepper.bai_boundary());
+        }
+        let workers = self.pool.workers();
+        let merged = self.pool.finish(|_, shard| {
+            let jsonl = shard.trace.as_ref().map(|t| t.to_jsonl());
+            (shard.stepper.into_result(), jsonl)
+        });
+        let mut results = Vec::with_capacity(merged.len());
+        let mut traces = Vec::with_capacity(merged.len());
+        for (result, jsonl) in merged {
+            results.push(result);
+            traces.push(jsonl);
+        }
+        MultiCellOutcome {
+            results,
+            traces,
+            barriers,
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_core::FlareConfig;
+    use flare_lte::mobility::MobilityConfig;
+    use flare_sim::TimeDelta;
+
+    use crate::cell::cell_config;
+    use crate::config::{ChannelKind, SchemeKind};
+
+    fn fig6_cell(seed: u64, secs: u64) -> SimConfig {
+        cell_config(
+            SchemeKind::Flare(FlareConfig::default()),
+            ChannelKind::StationaryRandom(MobilityConfig::default()),
+            8,
+            0,
+            seed,
+            TimeDelta::from_secs(secs),
+        )
+    }
+
+    #[test]
+    fn sharded_matches_serial_cellsim_exactly() {
+        let direct: Vec<RunResult> = (0..3)
+            .map(|i| CellSim::new(fig6_cell(40 + i, 30)).run())
+            .collect();
+        for jobs in [1, 3] {
+            let outcome = MultiCellSim::new(3, jobs, false, |i| fig6_cell(40 + i as u64, 30)).run();
+            assert_eq!(outcome.results.len(), 3);
+            assert_eq!(outcome.barriers, 3, "30 s at a 10 s BAI");
+            for (cell, (a, b)) in direct.iter().zip(outcome.results.iter()).enumerate() {
+                assert_eq!(
+                    a.average_video_rate_kbps(),
+                    b.average_video_rate_kbps(),
+                    "cell {cell} diverged at jobs={jobs}"
+                );
+                assert_eq!(a.videos.len(), b.videos.len());
+                for (va, vb) in a.videos.iter().zip(b.videos.iter()) {
+                    assert_eq!(va.rate_series.points(), vb.rate_series.points());
+                    assert_eq!(va.buffer_series.points(), vb.buffer_series.points());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traces_are_recorded_per_cell() {
+        let outcome = MultiCellSim::new(2, 2, true, |i| fig6_cell(7 + i as u64, 20)).run();
+        assert_eq!(outcome.traces.len(), 2);
+        for (cell, jsonl) in outcome.traces.iter().enumerate() {
+            let jsonl = jsonl.as_ref().expect("tracing was requested");
+            assert!(!jsonl.is_empty(), "cell {cell} recorded nothing");
+        }
+        // Different seeds must yield different traces (cells are distinct).
+        assert_ne!(outcome.traces[0], outcome.traces[1]);
+    }
+
+    #[test]
+    fn zero_cells_is_a_clean_noop() {
+        let outcome = MultiCellSim::new(0, 4, true, |i| fig6_cell(i as u64, 10)).run();
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.barriers, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of lockstep")]
+    fn mismatched_durations_are_rejected() {
+        MultiCellSim::new(2, 1, false, |i| fig6_cell(1, 10 + 10 * i as u64)).run();
+    }
+}

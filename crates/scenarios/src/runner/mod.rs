@@ -216,6 +216,10 @@ pub struct CellSim {
     /// Per-video-flow GBR lease expiries snapshotted just before each TTI,
     /// so the lease-return invariant can observe expiries the TTI performs.
     lease_watch: Vec<Option<Time>>,
+    /// Reusable observation buffer for the invariant battery, so checked
+    /// runs do not allocate once the per-TTI observation set has reached
+    /// its steady-state size.
+    obs_scratch: Vec<Observation>,
 }
 
 impl CellSim {
@@ -312,6 +316,12 @@ impl CellSim {
                 .with_hard_fail(true)
         });
         let lease_watch = vec![None; config.n_video];
+        // One segment per `segment` interval per player bounds the record
+        // count; reserving it up front keeps steady-state stepping
+        // allocation-free (see `tests/alloc.rs`).
+        for player in &mut players {
+            player.reserve_records(player.mpd().segment_count() as usize);
+        }
         CellSim {
             config,
             enb,
@@ -324,6 +334,7 @@ impl CellSim {
             trace,
             invariants,
             lease_watch,
+            obs_scratch: Vec::new(),
         }
     }
 
@@ -381,171 +392,338 @@ impl CellSim {
     }
 
     /// Runs the simulation to completion and returns the collected results.
-    pub fn run(mut self) -> RunResult {
+    ///
+    /// Equivalent to driving [`CellSim::into_stepper`] by hand: advance to
+    /// each BAI boundary, execute it, repeat until the duration is
+    /// exhausted. The sharded multi-cell engine runs exactly this loop with
+    /// a barrier between the two calls, which is why sharded execution is
+    /// byte-identical to this serial path.
+    pub fn run(self) -> RunResult {
+        let mut stepper = self.into_stepper();
+        while stepper.advance_to_bai().is_some() {
+            stepper.bai_boundary();
+        }
+        stepper.into_result()
+    }
+
+    /// Converts the simulation into an incrementally driven [`CellStepper`]
+    /// so a coordinator can interleave this cell's TTIs with other cells'
+    /// at BAI granularity.
+    pub fn into_stepper(self) -> CellStepper {
         let duration_ms = self.config.duration.as_millis();
         let bai_ms = self.config.bai.as_millis();
         let n_video = self.video_flows.len();
         let n_data = self.data_flows.len();
 
-        let mut rate_series: Vec<TimeSeries> = (0..n_video)
-            .map(|i| TimeSeries::new(format!("video-{i} rate (kbps)")))
+        // Pre-size every sampling vector for the whole run so steady-state
+        // stepping never reallocates (the sharded alloc gate measures this
+        // path; BAI boundaries are allowed to allocate, TTIs are not).
+        let secs = (duration_ms / 1000 + 2) as usize;
+        let series = |label: String| {
+            let mut ts = TimeSeries::new(label);
+            ts.reserve(secs);
+            ts
+        };
+        let rate_series: Vec<TimeSeries> = (0..n_video)
+            .map(|i| series(format!("video-{i} rate (kbps)")))
             .collect();
-        let mut buffer_series: Vec<TimeSeries> = (0..n_video)
-            .map(|i| TimeSeries::new(format!("video-{i} buffer (s)")))
+        let buffer_series: Vec<TimeSeries> = (0..n_video)
+            .map(|i| series(format!("video-{i} buffer (s)")))
             .collect();
-        let mut video_tput: Vec<TimeSeries> = (0..n_video)
-            .map(|i| TimeSeries::new(format!("video-{i} throughput (kbps)")))
+        let video_tput: Vec<TimeSeries> = (0..n_video)
+            .map(|i| series(format!("video-{i} throughput (kbps)")))
             .collect();
-        let mut data_tput: Vec<TimeSeries> = (0..n_data)
-            .map(|i| TimeSeries::new(format!("data-{i} throughput (kbps)")))
+        let data_tput: Vec<TimeSeries> = (0..n_data)
+            .map(|i| series(format!("data-{i} throughput (kbps)")))
             .collect();
-        let mut second_bytes = vec![0u64; n_video + n_data];
-        let mut total_bytes = vec![0u64; n_video + n_data];
-        let mut solve_times = Vec::new();
+        let solve_times = Vec::with_capacity((duration_ms / bai_ms + 1) as usize);
 
-        // Countdown instead of `(ms + 1) % bai_ms`: the modulo is a genuine
-        // 64-bit division against a runtime value, once per simulated TTI.
-        let mut bai_countdown = bai_ms;
-        for ms in 0..duration_ms {
+        CellStepper {
+            sim: self,
+            duration_ms,
+            bai_ms,
+            ms: 0,
+            // Countdown instead of `(ms + 1) % bai_ms`: the modulo is a
+            // genuine 64-bit division against a runtime value, once per
+            // simulated TTI.
+            bai_countdown: bai_ms,
+            pending_bai: None,
+            rate_series,
+            buffer_series,
+            video_tput,
+            data_tput,
+            second_bytes: vec![0u64; n_video + n_data],
+            total_bytes: vec![0u64; n_video + n_data],
+            solve_times,
+        }
+    }
+
+    /// Advances every versioned client's staleness clock at the end of a
+    /// BAI, after all deliveries due in it.
+    fn end_bai_clients(&mut self, now: Time) {
+        if let Controller::FlareMsg {
+            cells: MsgCells::Versioned(cs),
+            ..
+        } = &self.controller
+        {
+            for (i, cell) in cs.iter().enumerate() {
+                let before = cell.mode();
+                cell.end_bai();
+                let after = cell.mode();
+                if after == CoordinationMode::Fallback {
+                    self.trace.incr("plugin.fallback_bais", 1);
+                }
+                if before != after {
+                    let name = match after {
+                        CoordinationMode::Fallback => "fallback_enter",
+                        CoordinationMode::Coordinated => "fallback_exit",
+                    };
+                    self.trace.record(now, Category::Plugin, name, |e| {
+                        e.u64("ue", i as u64)
+                            .u64("stale_bais", u64::from(cell.bais_since_fresh()));
+                    });
+                }
+            }
+        }
+    }
+
+    /// Feeds the per-TTI observations (RB conservation, lease return,
+    /// player sanity) to the invariant battery. Caller guarantees
+    /// `self.invariants` is populated.
+    fn observe_tti(&mut self, tti_start: Time, tti_end: Time) {
+        self.obs_scratch.clear();
+        self.obs_scratch.push(Observation::TtiGrant {
+            granted: self.enb.last_tti_granted_rbs(),
+            budget: self.enb.config().rbs_per_tti,
+        });
+        for (i, &flow) in self.video_flows.iter().enumerate() {
+            let Some(expiry) = self.lease_watch[i] else {
+                continue;
+            };
+            if tti_start >= expiry {
+                // The lease was due this TTI: the reservation must be gone
+                // (observed before any control-plane delivery can renew it).
+                let gbr_cleared =
+                    self.enb.qos(flow).gbr.is_none() && self.enb.lease_expiry(flow).is_none();
+                self.obs_scratch.push(Observation::LeaseExpiry {
+                    flow: flow.index() as u64,
+                    gbr_cleared,
+                });
+            }
+        }
+        let resume_threshold_ms = self.config.player.resume_threshold.as_millis() as i64;
+        for (i, player) in self.players.iter().enumerate() {
+            self.obs_scratch.push(Observation::PlayerState {
+                ue: i as u64,
+                buffer_ms: player.buffer_level().as_millis() as i64,
+                stalled: player.stalled(),
+                rebuffer_events: player.rebuffer_events(),
+                resume_threshold_ms,
+                finished: player.finished(),
+            });
+        }
+        let inv = self.invariants.as_mut().expect("caller checked");
+        for o in &self.obs_scratch {
+            inv.observe(tti_end, o);
+        }
+    }
+}
+
+/// A [`CellSim`] broken open at BAI granularity.
+///
+/// [`CellStepper::advance_to_bai`] runs the per-TTI work (playback, MAC
+/// scheduling, per-second sampling, control-plane deliveries) up to and
+/// including the TTI that closes a BAI, then pauses and reports the
+/// boundary time; [`CellStepper::bai_boundary`] executes the coordination
+/// step for that boundary (server solve, assignment installs, client
+/// staleness clocks). Splitting the two lets a multi-cell coordinator
+/// barrier all shards between them while keeping the statement order —
+/// and therefore every trace byte and RNG draw — identical to
+/// [`CellSim::run`].
+pub struct CellStepper {
+    sim: CellSim,
+    duration_ms: u64,
+    bai_ms: u64,
+    /// Next TTI to simulate, in ms since the start of the run.
+    ms: u64,
+    bai_countdown: u64,
+    /// Set when a BAI boundary has been reached but not yet executed.
+    pending_bai: Option<Time>,
+    rate_series: Vec<TimeSeries>,
+    buffer_series: Vec<TimeSeries>,
+    video_tput: Vec<TimeSeries>,
+    data_tput: Vec<TimeSeries>,
+    second_bytes: Vec<u64>,
+    total_bytes: Vec<u64>,
+    solve_times: Vec<Duration>,
+}
+
+impl CellStepper {
+    /// Simulates TTIs until the next BAI boundary and returns its time, or
+    /// `None` once the configured duration is exhausted (any trailing
+    /// partial BAI is still simulated before `None` is returned).
+    ///
+    /// A returned boundary must be executed with
+    /// [`CellStepper::bai_boundary`] before advancing further.
+    pub fn advance_to_bai(&mut self) -> Option<Time> {
+        assert!(
+            self.pending_bai.is_none(),
+            "advance_to_bai called with an unexecuted BAI boundary pending"
+        );
+        let n_video = self.sim.video_flows.len();
+        let n_data = self.sim.data_flows.len();
+        while self.ms < self.duration_ms {
+            let ms = self.ms;
+            self.ms += 1;
             let tti_start = Time::from_millis(ms);
             let tti_end = Time::from_millis(ms + 1);
 
             // 1. Players play back 1 ms and may issue a segment request.
-            let jitter_ms = self.config.request_jitter.as_millis();
-            for (i, player) in self.players.iter_mut().enumerate() {
+            let jitter_ms = self.sim.config.request_jitter.as_millis();
+            for (i, player) in self.sim.players.iter_mut().enumerate() {
                 if let Some(req) = player.step(tti_end, TTI) {
                     if jitter_ms == 0 {
-                        self.enb.push_backlog(self.video_flows[i], req.bytes);
+                        self.sim
+                            .enb
+                            .push_backlog(self.sim.video_flows[i], req.bytes);
                     } else {
                         // The request spends a transport-dependent time in
                         // flight before bytes appear at the eNodeB.
-                        let delay = self.jitter_rngs[i].gen_range(0..=jitter_ms);
-                        self.pending_requests.push((
+                        let delay = self.sim.jitter_rngs[i].gen_range(0..=jitter_ms);
+                        self.sim.pending_requests.push((
                             tti_end + TimeDelta::from_millis(delay),
                             i,
                             req.bytes,
                         ));
                     }
-                    rate_series[i].push(
+                    self.rate_series[i].push(
                         tti_end.as_secs_f64(),
-                        self.config.ladder.rate(req.level).as_kbps(),
+                        self.sim.config.ladder.rate(req.level).as_kbps(),
                     );
                 }
             }
-            if !self.pending_requests.is_empty() {
+            if !self.sim.pending_requests.is_empty() {
                 let due: Vec<(Time, usize, ByteCount)> = {
                     let (due, rest): (Vec<_>, Vec<_>) = self
+                        .sim
                         .pending_requests
                         .drain(..)
                         .partition(|(at, _, _)| *at <= tti_end);
-                    self.pending_requests = rest;
+                    self.sim.pending_requests = rest;
                     due
                 };
                 for (_, i, bytes) in due {
-                    self.enb.push_backlog(self.video_flows[i], bytes);
+                    self.sim.enb.push_backlog(self.sim.video_flows[i], bytes);
                 }
             }
 
             // 2. One TTI of MAC scheduling and delivery. When invariants are
             // on, lease expiries performed inside the TTI are observed
             // against the pre-TTI snapshot.
-            if self.invariants.is_some() {
-                for (i, &flow) in self.video_flows.iter().enumerate() {
-                    self.lease_watch[i] = self.enb.lease_expiry(flow);
+            if self.sim.invariants.is_some() {
+                for (i, &flow) in self.sim.video_flows.iter().enumerate() {
+                    self.sim.lease_watch[i] = self.sim.enb.lease_expiry(flow);
                 }
             }
-            for d in self.enb.step_tti(tti_start) {
+            for d in self.sim.enb.step_tti(tti_start) {
                 let idx = d.flow.index();
-                second_bytes[idx] += d.bytes.as_u64();
-                total_bytes[idx] += d.bytes.as_u64();
+                self.second_bytes[idx] += d.bytes.as_u64();
+                self.total_bytes[idx] += d.bytes.as_u64();
                 if idx < n_video {
-                    self.players[idx].on_delivered(tti_end, d.bytes);
+                    self.sim.players[idx].on_delivered(tti_end, d.bytes);
                 }
             }
-            if self.invariants.is_some() {
-                self.observe_tti(tti_start, tti_end);
+            if self.sim.invariants.is_some() {
+                self.sim.observe_tti(tti_start, tti_end);
             }
 
             // 3. Per-second sampling.
-            if (ms + 1) % 1000 == 0 {
+            if (ms + 1).is_multiple_of(1000) {
                 let t = tti_end.as_secs_f64();
                 for i in 0..n_video {
-                    buffer_series[i].push(t, self.players[i].buffer_level().as_secs_f64());
-                    video_tput[i]
-                        .push(t, ByteCount::new(second_bytes[i]).as_bits() as f64 / 1000.0);
-                    second_bytes[i] = 0;
+                    self.buffer_series[i].push(t, self.sim.players[i].buffer_level().as_secs_f64());
+                    self.video_tput[i].push(
+                        t,
+                        ByteCount::new(self.second_bytes[i]).as_bits() as f64 / 1000.0,
+                    );
+                    self.second_bytes[i] = 0;
                 }
                 for i in 0..n_data {
-                    data_tput[i].push(
+                    self.data_tput[i].push(
                         t,
-                        ByteCount::new(second_bytes[n_video + i]).as_bits() as f64 / 1000.0,
+                        ByteCount::new(self.second_bytes[n_video + i]).as_bits() as f64 / 1000.0,
                     );
-                    second_bytes[n_video + i] = 0;
+                    self.second_bytes[n_video + i] = 0;
                 }
             }
 
             // 4. Control-plane deliveries (delayed/reordered messages land
-            // between BAIs), then the BAI boundary itself.
-            self.poll_control(tti_end);
-            bai_countdown -= 1;
-            let bai_boundary = bai_countdown == 0;
-            if bai_boundary {
-                bai_countdown = bai_ms;
-            }
-            if bai_boundary {
-                self.run_bai(tti_end, &mut solve_times);
-                // A perfect (zero-delay) control plane delivers this BAI's
-                // messages within the same tick.
-                self.poll_control(tti_end);
-                // Client-side staleness clocks advance once per BAI, after
-                // all deliveries due in it.
-                if let Controller::FlareMsg {
-                    cells: MsgCells::Versioned(cs),
-                    ..
-                } = &self.controller
-                {
-                    for (i, cell) in cs.iter().enumerate() {
-                        let before = cell.mode();
-                        cell.end_bai();
-                        let after = cell.mode();
-                        if after == CoordinationMode::Fallback {
-                            self.trace.incr("plugin.fallback_bais", 1);
-                        }
-                        if before != after {
-                            let name = match after {
-                                CoordinationMode::Fallback => "fallback_enter",
-                                CoordinationMode::Coordinated => "fallback_exit",
-                            };
-                            self.trace.record(tti_end, Category::Plugin, name, |e| {
-                                e.u64("ue", i as u64)
-                                    .u64("stale_bais", u64::from(cell.bais_since_fresh()));
-                            });
-                        }
-                    }
-                }
+            // between BAIs), then — at a boundary — hand control back to
+            // the caller so a coordinator can run the barrier step.
+            self.sim.poll_control(tti_end);
+            self.bai_countdown -= 1;
+            if self.bai_countdown == 0 {
+                self.bai_countdown = self.bai_ms;
+                self.pending_bai = Some(tti_end);
+                return self.pending_bai;
             }
         }
+        None
+    }
 
+    /// Executes the BAI boundary reached by the last
+    /// [`CellStepper::advance_to_bai`]: the coordination solve, the
+    /// same-tick control-plane deliveries a perfect (zero-delay) plane
+    /// makes, and the per-BAI client staleness clocks.
+    pub fn bai_boundary(&mut self) {
+        let now = self
+            .pending_bai
+            .take()
+            .expect("bai_boundary called with no BAI boundary pending");
+        self.sim.run_bai(now, &mut self.solve_times);
+        // A perfect (zero-delay) control plane delivers this BAI's
+        // messages within the same tick.
+        self.sim.poll_control(now);
+        // Client-side staleness clocks advance once per BAI, after all
+        // deliveries due in it.
+        self.sim.end_bai_clients(now);
+    }
+
+    /// Sim time at the start of the next TTI to be simulated.
+    pub fn now(&self) -> Time {
+        Time::from_millis(self.ms)
+    }
+
+    /// Consumes the stepper and assembles the [`RunResult`].
+    pub fn into_result(mut self) -> RunResult {
+        let n_video = self.sim.video_flows.len();
+        let n_data = self.sim.data_flows.len();
         let videos = (0..n_video)
             .map(|i| {
-                let stats: PlayerStats = self.players[i].stats();
+                let stats: PlayerStats = self.sim.players[i].stats();
                 VideoFlowResult {
                     index: i,
                     stats,
-                    rate_series: std::mem::replace(&mut rate_series[i], TimeSeries::new("")),
-                    buffer_series: std::mem::replace(&mut buffer_series[i], TimeSeries::new("")),
-                    throughput_series: std::mem::replace(&mut video_tput[i], TimeSeries::new("")),
-                    average_throughput: ByteCount::new(total_bytes[i])
-                        .rate_over(self.config.duration),
+                    rate_series: std::mem::replace(&mut self.rate_series[i], TimeSeries::new("")),
+                    buffer_series: std::mem::replace(
+                        &mut self.buffer_series[i],
+                        TimeSeries::new(""),
+                    ),
+                    throughput_series: std::mem::replace(
+                        &mut self.video_tput[i],
+                        TimeSeries::new(""),
+                    ),
+                    average_throughput: ByteCount::new(self.total_bytes[i])
+                        .rate_over(self.sim.config.duration),
                 }
             })
             .collect();
         let data = (0..n_data)
             .map(|i| DataFlowResult {
                 index: i,
-                throughput_series: std::mem::replace(&mut data_tput[i], TimeSeries::new("")),
-                average_throughput: ByteCount::new(total_bytes[n_video + i])
-                    .rate_over(self.config.duration),
+                throughput_series: std::mem::replace(&mut self.data_tput[i], TimeSeries::new("")),
+                average_throughput: ByteCount::new(self.total_bytes[n_video + i])
+                    .rate_over(self.sim.config.duration),
             })
             .collect();
 
@@ -553,8 +731,8 @@ impl CellSim {
         // instrumented components (control plane, plugins, eNodeB PCEF,
         // server) mirror their counters into it as they run, so a single
         // snapshot replaces the per-component accessor sweep.
-        let telemetry = self.trace.snapshot();
-        let robustness = match &self.controller {
+        let telemetry = self.sim.trace.snapshot();
+        let robustness = match &self.sim.controller {
             Controller::FlareMsg { .. } => Some(RobustnessReport {
                 delivered: telemetry.counter("control.delivered"),
                 dropped: telemetry.counter("control.dropped"),
@@ -570,53 +748,13 @@ impl CellSim {
         };
 
         RunResult {
-            scheme: self.config.scheme.name().to_owned(),
-            duration: self.config.duration,
+            scheme: self.sim.config.scheme.name().to_owned(),
+            duration: self.sim.config.duration,
             videos,
             data,
-            solve_times,
+            solve_times: self.solve_times,
             robustness,
             telemetry,
-        }
-    }
-
-    /// Feeds the per-TTI observations (RB conservation, lease return,
-    /// player sanity) to the invariant battery. Caller guarantees
-    /// `self.invariants` is populated.
-    fn observe_tti(&mut self, tti_start: Time, tti_end: Time) {
-        let mut obs = vec![Observation::TtiGrant {
-            granted: self.enb.last_tti_granted_rbs(),
-            budget: self.enb.config().rbs_per_tti,
-        }];
-        for (i, &flow) in self.video_flows.iter().enumerate() {
-            let Some(expiry) = self.lease_watch[i] else {
-                continue;
-            };
-            if tti_start >= expiry {
-                // The lease was due this TTI: the reservation must be gone
-                // (observed before any control-plane delivery can renew it).
-                let gbr_cleared =
-                    self.enb.qos(flow).gbr.is_none() && self.enb.lease_expiry(flow).is_none();
-                obs.push(Observation::LeaseExpiry {
-                    flow: flow.index() as u64,
-                    gbr_cleared,
-                });
-            }
-        }
-        let resume_threshold_ms = self.config.player.resume_threshold.as_millis() as i64;
-        for (i, player) in self.players.iter().enumerate() {
-            obs.push(Observation::PlayerState {
-                ue: i as u64,
-                buffer_ms: player.buffer_level().as_millis() as i64,
-                stalled: player.stalled(),
-                rebuffer_events: player.rebuffer_events(),
-                resume_threshold_ms,
-                finished: player.finished(),
-            });
-        }
-        let inv = self.invariants.as_mut().expect("caller checked");
-        for o in &obs {
-            inv.observe(tti_end, o);
         }
     }
 }

@@ -3,32 +3,53 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
-use crate::spec::ProblemSpec;
+use crate::spec::{FlowSpec, ProblemSpec};
 use crate::utility::data_utility;
 use crate::{finish, DiscreteSolution};
 
+/// Precomputes `utility(ladder[l])` for every level of one flow.
+///
+/// The table holds the *same* `f64`s `FlowSpec::utility` would return (a
+/// pure function of `(beta, theta, rate)`), so table-driven evaluation is
+/// bit-identical to inline evaluation — it only trades repeated arithmetic
+/// for a lookup. Note the table does not depend on the flow's `weight` (the
+/// per-bit RB cost): channel churn between BAIs leaves it valid, which is
+/// what [`crate::WarmSolver`] exploits.
+pub(crate) fn level_utils(f: &FlowSpec) -> Vec<f64> {
+    f.ladder().iter().map(|&rate| f.utility(rate)).collect()
+}
+
 /// Incremental evaluation state: video utility sum and RBs consumed.
+///
+/// `utils[i][l]` must equal `spec.flows()[i].utility(ladder[l])` (see
+/// [`level_utils`]); `cur_penalty` caches `penalty(used_rbs)` for the
+/// current state so `delta` does one penalty evaluation instead of two.
 struct Eval<'a> {
     spec: &'a ProblemSpec,
+    utils: &'a [Vec<f64>],
     levels: Vec<usize>,
     video_util: f64,
     used_rbs: f64,
+    cur_penalty: f64,
 }
 
 impl<'a> Eval<'a> {
-    fn new(spec: &'a ProblemSpec) -> Self {
+    fn new(spec: &'a ProblemSpec, utils: &'a [Vec<f64>]) -> Self {
         let levels: Vec<usize> = spec.flows().iter().map(|f| f.min_level()).collect();
         let mut e = Eval {
             spec,
+            utils,
             levels,
             video_util: 0.0,
             used_rbs: 0.0,
+            cur_penalty: 0.0,
         };
         for (i, f) in spec.flows().iter().enumerate() {
             let rate = f.ladder()[e.levels[i]];
-            e.video_util += f.utility(rate);
+            e.video_util += e.utils[i][e.levels[i]];
             e.used_rbs += f.weight() * rate;
         }
+        e.cur_penalty = e.penalty(e.used_rbs);
         e
     }
 
@@ -41,7 +62,7 @@ impl<'a> Eval<'a> {
     }
 
     fn objective(&self) -> f64 {
-        self.video_util + self.penalty(self.used_rbs)
+        self.video_util + self.cur_penalty
     }
 
     /// Objective change from moving flow `i` to `to_level`.
@@ -54,16 +75,17 @@ impl<'a> Eval<'a> {
         if new_pen == f64::NEG_INFINITY {
             return f64::NEG_INFINITY;
         }
-        (f.utility(to) - f.utility(from)) + (new_pen - self.penalty(self.used_rbs))
+        (self.utils[i][to_level] - self.utils[i][self.levels[i]]) + (new_pen - self.cur_penalty)
     }
 
     fn apply(&mut self, i: usize, to_level: usize) {
         let f = &self.spec.flows()[i];
         let from = f.ladder()[self.levels[i]];
         let to = f.ladder()[to_level];
-        self.video_util += f.utility(to) - f.utility(from);
+        self.video_util += self.utils[i][to_level] - self.utils[i][self.levels[i]];
         self.used_rbs += f.weight() * (to - from);
         self.levels[i] = to_level;
+        self.cur_penalty = self.penalty(self.used_rbs);
     }
 }
 
@@ -111,7 +133,16 @@ impl Eq for Upgrade {}
 /// assignment is returned with a `-inf` objective, matching
 /// [`crate::solve_relaxed`].
 pub fn solve_discrete(spec: &ProblemSpec) -> DiscreteSolution {
-    let mut eval = Eval::new(spec);
+    let utils: Vec<Vec<f64>> = spec.flows().iter().map(level_utils).collect();
+    solve_core(spec, &utils)
+}
+
+/// The shared greedy-ascent + polish core behind [`solve_discrete`] (fresh
+/// tables every call) and [`crate::WarmSolver`] (tables carried across
+/// BAIs). `utils` must satisfy the [`level_utils`] contract for `spec`.
+pub(crate) fn solve_core(spec: &ProblemSpec, utils: &[Vec<f64>]) -> DiscreteSolution {
+    debug_assert_eq!(utils.len(), spec.flows().len());
+    let mut eval = Eval::new(spec, utils);
     if spec.is_overloaded() {
         return finish(spec, eval.levels);
     }

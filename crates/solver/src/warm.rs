@@ -1,0 +1,248 @@
+//! Warm-started exact solves for consecutive per-BAI problems.
+//!
+//! The OneAPI server solves one discrete problem per cell per BAI, and the
+//! problems it feeds the solver are highly repetitive: the ABR ladder and
+//! utility shape (`beta`, `theta`) almost never change, channel churn moves
+//! only some flows' `weight` (RB cost per bit), and in a settled cell the
+//! whole spec is frequently *identical* to the previous BAI's.
+//!
+//! [`WarmSolver`] exploits both levels of repetition while staying
+//! **bit-identical** to a cold [`solve_discrete`](crate::solve_discrete)
+//! call — levels, rates, `r`, objective, *and* the `steps` work counter
+//! (which is recorded in golden traces):
+//!
+//! 1. **Whole-solution reuse.** If the spec equals the previous one
+//!    exactly, the cached [`DiscreteSolution`] is returned without
+//!    re-running the ascent. Equality of inputs to a deterministic solver
+//!    implies bit-equality of outputs, so this is just memoization.
+//! 2. **Per-flow utility tables.** Otherwise the shared solve core runs on
+//!    per-flow `utility(ladder[l])` tables that are re-seeded only for
+//!    flows whose utility basis `(ladder, beta, theta)` changed. Tables
+//!    hold exactly the values inline evaluation would compute, and they do
+//!    not depend on `weight` or `max_level`, so inter-BAI channel churn
+//!    and one-step-up cap movement leave them valid.
+//!
+//! What is deliberately *not* carried over: the greedy ascent's gain heap.
+//! Reusing it would start the ascent from a different state, changing the
+//! accepted-step sequence (and `steps`) even when the final levels agree —
+//! which would break the byte-identity contract between warm and cold
+//! solves. The equivalence is pinned by a proptest over perturbed
+//! consecutive BAI sequences below.
+
+use crate::discrete::{level_utils, solve_core};
+use crate::spec::ProblemSpec;
+use crate::DiscreteSolution;
+
+/// The inputs a flow's utility table depends on. `weight` and the level
+/// bounds are deliberately excluded: they change per BAI without affecting
+/// `utility(ladder[l])`.
+#[derive(Debug, Clone, PartialEq)]
+struct UtilityBasis {
+    ladder: Vec<f64>,
+    beta: f64,
+    theta: f64,
+}
+
+/// An exact solver that carries reusable state across consecutive solves.
+/// See the module docs for the contract; construct one per coordination
+/// entity (e.g. per OneAPI server) and call [`WarmSolver::solve`] each BAI.
+#[derive(Debug, Default)]
+pub struct WarmSolver {
+    last: Option<(ProblemSpec, DiscreteSolution)>,
+    basis: Vec<UtilityBasis>,
+    utils: Vec<Vec<f64>>,
+    hits: u64,
+    misses: u64,
+    reseeded_flows: u64,
+}
+
+impl WarmSolver {
+    /// Creates a cold solver; the first solve seeds every table.
+    pub fn new() -> Self {
+        WarmSolver::default()
+    }
+
+    /// Solves `spec`, reusing whatever carried state is still exact.
+    /// The result is bit-identical to `solve_discrete(&spec)` in every
+    /// field, including `steps`.
+    ///
+    /// Takes the spec by value: callers build a fresh spec every BAI, and
+    /// taking ownership lets the memo store it without re-cloning every
+    /// flow's ladder — at 512 clients that clone would cost more than the
+    /// table reuse saves.
+    pub fn solve(&mut self, spec: ProblemSpec) -> DiscreteSolution {
+        if let Some((prev, sol)) = &self.last {
+            if *prev == spec {
+                self.hits += 1;
+                return sol.clone();
+            }
+        }
+        self.misses += 1;
+        let n = spec.flows().len();
+        self.basis.truncate(n);
+        self.utils.truncate(n);
+        for (i, f) in spec.flows().iter().enumerate() {
+            // Compare against the stored basis without materializing a
+            // candidate: in the common no-churn case this loop must stay
+            // allocation-free or it eats the warm-up saving at high client
+            // counts.
+            let unchanged = self.basis.get(i).is_some_and(|b| {
+                b.ladder == f.ladder() && b.beta == f.beta() && b.theta == f.theta()
+            });
+            if unchanged {
+                continue;
+            }
+            self.reseeded_flows += 1;
+            let basis = UtilityBasis {
+                ladder: f.ladder().to_vec(),
+                beta: f.beta(),
+                theta: f.theta(),
+            };
+            let utils = level_utils(f);
+            if i < self.basis.len() {
+                self.basis[i] = basis;
+                self.utils[i] = utils;
+            } else {
+                self.basis.push(basis);
+                self.utils.push(utils);
+            }
+        }
+        let sol = solve_core(&spec, &self.utils);
+        self.last = Some((spec, sol.clone()));
+        sol
+    }
+
+    /// Solves served straight from the previous BAI's cached solution.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Solves that ran the core (with whatever tables were still valid).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Per-flow utility tables rebuilt because `(ladder, beta, theta)`
+    /// changed (or the flow was new). Low churn keeps this near zero after
+    /// the first solve.
+    pub fn reseeded_flows(&self) -> u64 {
+        self.reseeded_flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_discrete;
+    use crate::spec::FlowSpec;
+    use proptest::prelude::*;
+
+    const N: f64 = 500_000.0;
+    const LADDER: [f64; 6] = [100e3, 250e3, 500e3, 1000e3, 2000e3, 3000e3];
+
+    fn paper_flow(bits_per_rb: f64, max_level: usize) -> FlowSpec {
+        FlowSpec::new(LADDER.to_vec(), 10.0, 0.2e6, 10.0 / bits_per_rb, max_level)
+    }
+
+    fn spec_of(flows: &[(f64, usize)]) -> ProblemSpec {
+        ProblemSpec::builder()
+            .total_rbs(N)
+            .data_flows(4, 1.0)
+            .flows(flows.iter().map(|&(b, cap)| paper_flow(b, cap)))
+            .build()
+            .unwrap()
+    }
+
+    fn assert_bit_identical(warm: &DiscreteSolution, cold: &DiscreteSolution) {
+        assert_eq!(warm.levels, cold.levels);
+        assert_eq!(warm.steps, cold.steps, "work counters must match too");
+        assert!(warm.rates.iter().zip(&cold.rates).all(|(a, b)| a == b));
+        assert_eq!(warm.r.to_bits(), cold.r.to_bits());
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+    }
+
+    #[test]
+    fn identical_consecutive_specs_hit_the_cache() {
+        let mut warm = WarmSolver::new();
+        let spec = spec_of(&[(700.0, 5), (300.0, 4), (90.0, 3)]);
+        let first = warm.solve(spec.clone());
+        let second = warm.solve(spec.clone());
+        assert_eq!(warm.hits(), 1);
+        assert_eq!(warm.misses(), 1);
+        assert_bit_identical(&second, &first);
+        assert_bit_identical(&first, &solve_discrete(&spec));
+    }
+
+    #[test]
+    fn weight_churn_keeps_utility_tables() {
+        let mut warm = WarmSolver::new();
+        warm.solve(spec_of(&[(700.0, 5), (300.0, 4)]));
+        assert_eq!(warm.reseeded_flows(), 2, "first solve seeds every flow");
+        // Channel moved (weights changed), caps moved: tables stay valid.
+        let next = spec_of(&[(650.0, 4), (310.0, 5)]);
+        let got = warm.solve(next.clone());
+        assert_eq!(warm.reseeded_flows(), 2, "no basis changed, no reseed");
+        assert_bit_identical(&got, &solve_discrete(&next));
+    }
+
+    #[test]
+    fn ladder_change_reseeds_that_flow() {
+        let mut warm = WarmSolver::new();
+        warm.solve(spec_of(&[(700.0, 5), (300.0, 4)]));
+        let changed = FlowSpec::new(vec![200e3, 400e3, 800e3], 10.0, 0.2e6, 10.0 / 700.0, 2);
+        let next = ProblemSpec::builder()
+            .total_rbs(N)
+            .data_flows(4, 1.0)
+            .flow(changed)
+            .flow(paper_flow(300.0, 4))
+            .build()
+            .unwrap();
+        let got = warm.solve(next.clone());
+        assert_eq!(warm.reseeded_flows(), 3, "only the changed flow reseeds");
+        assert_bit_identical(&got, &solve_discrete(&next));
+    }
+
+    #[test]
+    fn client_count_can_shrink_and_grow() {
+        let mut warm = WarmSolver::new();
+        warm.solve(spec_of(&[(700.0, 5), (300.0, 4), (90.0, 3)]));
+        let fewer = spec_of(&[(700.0, 5)]);
+        assert_bit_identical(&warm.solve(fewer.clone()), &solve_discrete(&fewer));
+        let more = spec_of(&[(700.0, 5), (301.0, 4), (95.0, 2), (1400.0, 5)]);
+        assert_bit_identical(&warm.solve(more.clone()), &solve_discrete(&more));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The satellite equivalence contract: over perturbed consecutive
+        /// BAI specs (weight/cap churn on a random subset of flows each
+        /// step, as a real cell produces), every warm solve is bit-identical
+        /// to a cold solve of the same spec.
+        #[test]
+        fn warm_equals_cold_over_perturbed_bai_sequences(
+            base in prop::collection::vec((32.0f64..1424.0, 0usize..6), 1..8),
+            churn in prop::collection::vec(
+                prop::collection::vec((0.0f64..1.0, 32.0f64..1424.0, 0usize..6), 1..8),
+                1..6,
+            ),
+        ) {
+            let mut warm = WarmSolver::new();
+            let mut flows = base;
+            for step in churn {
+                for (flow, (select, bits, cap)) in flows.iter_mut().zip(step) {
+                    // ~40% of flows churn per BAI; the rest carry over.
+                    if select < 0.4 {
+                        *flow = (bits, cap);
+                    }
+                }
+                let spec = spec_of(&flows);
+                let got = warm.solve(spec.clone());
+                let cold = solve_discrete(&spec);
+                prop_assert_eq!(&got.levels, &cold.levels);
+                prop_assert_eq!(got.steps, cold.steps);
+                prop_assert_eq!(got.r.to_bits(), cold.r.to_bits());
+                prop_assert_eq!(got.objective.to_bits(), cold.objective.to_bits());
+            }
+        }
+    }
+}

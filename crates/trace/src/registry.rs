@@ -80,22 +80,42 @@ impl Histogram {
 }
 
 impl Registry {
+    // The update paths below look up with `&str` and only materialize the
+    // key `String` on first touch: counters and histograms sit on per-TTI
+    // hot paths (player requests/deliveries), and the steady-state
+    // allocation gate in `tests/alloc.rs` counts them.
+
     pub(crate) fn incr(&self, name: &str, by: u64) {
         let mut st = self.state.borrow_mut();
-        *st.counters.entry(name.to_string()).or_insert(0) += by;
+        match st.counters.get_mut(name) {
+            Some(v) => *v += by,
+            None => {
+                st.counters.insert(name.to_string(), by);
+            }
+        }
     }
 
     pub(crate) fn gauge(&self, name: &str, v: f64) {
         let mut st = self.state.borrow_mut();
-        st.gauges.insert(name.to_string(), v);
+        match st.gauges.get_mut(name) {
+            Some(slot) => *slot = v,
+            None => {
+                st.gauges.insert(name.to_string(), v);
+            }
+        }
     }
 
     pub(crate) fn observe(&self, name: &str, v: f64) {
         let mut st = self.state.borrow_mut();
-        st.histograms
-            .entry(name.to_string())
-            .or_default()
-            .observe(v);
+        match st.histograms.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                st.histograms
+                    .entry(name.to_string())
+                    .or_default()
+                    .observe(v);
+            }
+        }
     }
 
     pub(crate) fn snapshot(&self) -> RegistrySnapshot {

@@ -14,12 +14,16 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use flare_core::FlareConfig;
 use flare_lte::channel::{StaticChannel, TriangleWave};
+use flare_lte::mobility::MobilityConfig;
 use flare_lte::scheduler::{
     MacScheduler, PrioritySetScheduler, ProportionalFair, RoundRobin, StrictGbrPartition,
     TwoPhaseGbr,
 };
 use flare_lte::{CellConfig, ENodeB, FlowClass, Itbs};
+use flare_scenarios::cell::cell_config;
+use flare_scenarios::{CellSim, ChannelKind, SchemeKind};
 use flare_sim::units::{ByteCount, Rate};
 use flare_sim::{Time, TimeDelta};
 
@@ -129,4 +133,34 @@ fn main() {
         );
         println!("[{name}] 10k TTIs, 0 allocator operations ... ok");
     }
+
+    // The sharded engine's steady-state contract (DESIGN.md §12): once a
+    // cell's stepper has warmed up, a full between-barriers window
+    // (`CellStepper::advance_to_bai`) performs zero allocator operations.
+    // Shard-pool setup and BAI boundaries (solves, assignment installs,
+    // control messages) may allocate; per-TTI stepping may not.
+    // `MultiCellSim` drives exactly this path on its workers, so the gate
+    // is measured here on the caller thread where the counter is quiet.
+    let config = cell_config(
+        SchemeKind::Flare(FlareConfig::default()),
+        ChannelKind::StationaryRandom(MobilityConfig::default()),
+        8,
+        0,
+        1,
+        TimeDelta::from_secs(40),
+    );
+    let mut stepper = CellSim::new(config).into_stepper();
+    for _ in 0..3 {
+        stepper.advance_to_bai().expect("warm-up window");
+        stepper.bai_boundary();
+    }
+    let before = ALLOC_OPS.load(Ordering::Relaxed);
+    let boundary = stepper.advance_to_bai();
+    let ops = ALLOC_OPS.load(Ordering::Relaxed) - before;
+    assert!(boundary.is_some(), "measurement window must close a BAI");
+    assert_eq!(
+        ops, 0,
+        "[stepper] one BAI window performed {ops} allocator operations"
+    );
+    println!("[stepper] one 10 s BAI window (10k TTIs), 0 allocator operations ... ok");
 }

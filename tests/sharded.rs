@@ -1,0 +1,117 @@
+//! Determinism contract for the sharded multi-cell engine (DESIGN.md §12).
+//!
+//! Every check here is byte-level: a cell's JSONL trace records its solver
+//! decisions, scheduler grants, and player events with simulated-time
+//! timestamps, so byte-equality of traces is equality of behavior. The
+//! contract pinned below:
+//!
+//! 1. `MultiCellSim` at one shard is byte-identical to the pre-existing
+//!    serial path (`CellSim::run` with a recorder attached).
+//! 2. Sharded execution at any worker count is byte-identical to serial,
+//!    for randomized cell counts, seeds, and shard counts.
+//! 3. Two same-seed sharded runs are bit-identical to *each other* (no
+//!    scheduling-order leakage at all).
+//!
+//! The runtime invariant battery (`check_invariants`) stays on throughout,
+//! so lease accounting and observation checks also run under sharding.
+
+use flare_core::FlareConfig;
+use flare_lte::mobility::MobilityConfig;
+use flare_scenarios::cell::cell_config;
+use flare_scenarios::{CellSim, ChannelKind, MultiCellSim, SchemeKind, SimConfig};
+use flare_sim::TimeDelta;
+use flare_trace::{TraceConfig, TraceHandle};
+use proptest::prelude::*;
+
+/// The fig6-shaped cell (8 stationary FLARE videos) with invariants on;
+/// cell `i` of a fleet gets `seed + i` exactly like `multi_cell_sweep`.
+fn sharded_cell(seed: u64, cell: usize, secs: u64) -> SimConfig {
+    let mut config = cell_config(
+        SchemeKind::Flare(FlareConfig::default()),
+        ChannelKind::StationaryRandom(MobilityConfig::default()),
+        8,
+        0,
+        seed + cell as u64,
+        TimeDelta::from_secs(secs),
+    );
+    config.check_invariants = true;
+    config
+}
+
+/// The pre-existing serial path: one `CellSim::run` on the caller thread
+/// with a recording handle attached (exactly what the golden-trace tests
+/// do). This is the reference every sharded trace must reproduce.
+fn serial_reference_trace(seed: u64, cell: usize, secs: u64) -> String {
+    let trace = TraceHandle::new(TraceConfig::info());
+    let mut config = sharded_cell(seed, cell, secs);
+    config.trace = trace.clone();
+    CellSim::new(config).run();
+    trace.to_jsonl()
+}
+
+/// Per-cell JSONL from a `MultiCellSim` run at the given worker count.
+fn sharded_traces(cells: usize, jobs: usize, seed: u64, secs: u64) -> Vec<String> {
+    let outcome = MultiCellSim::new(cells, jobs, true, move |i| sharded_cell(seed, i, secs)).run();
+    outcome
+        .traces
+        .into_iter()
+        .map(|t| t.expect("tracing was requested"))
+        .collect()
+}
+
+/// Acceptance gate: a 4-cell run at 4 workers is byte-identical, cell by
+/// cell, to both the one-shard configuration and the pre-existing serial
+/// `CellSim` path. This is also the CI `multicell-smoke` battery.
+#[test]
+fn four_cells_at_four_jobs_match_the_serial_path_byte_for_byte() {
+    const SEED: u64 = 1;
+    const SECS: u64 = 30;
+    let reference: Vec<String> = (0..4)
+        .map(|cell| serial_reference_trace(SEED, cell, SECS))
+        .collect();
+    for jobs in [1, 4] {
+        let traces = sharded_traces(4, jobs, SEED, SECS);
+        assert_eq!(traces.len(), 4);
+        for (cell, (sharded, serial)) in traces.iter().zip(&reference).enumerate() {
+            assert!(!serial.is_empty(), "cell {cell}: empty reference trace");
+            assert!(
+                sharded == serial,
+                "cell {cell} at jobs={jobs} deviates from the serial path"
+            );
+        }
+    }
+}
+
+/// Two sharded runs with the same seed must agree byte-for-byte: worker
+/// scheduling (which varies freely between runs) must leave no residue.
+#[test]
+fn same_seed_sharded_runs_are_bit_identical() {
+    let first = sharded_traces(8, 8, 77, 20);
+    let second = sharded_traces(8, 8, 77, 20);
+    assert_eq!(first, second, "same-seed sharded runs diverged");
+    // Sanity: distinct cells really are distinct experiments.
+    assert_ne!(first[0], first[1]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// The satellite contract: for random fleet shapes, sharded JSONL is
+    /// byte-equal to the one-shard serial execution of the same fleet.
+    #[test]
+    fn sharded_jsonl_is_byte_equal_to_serial(
+        cells in 1usize..=8,
+        jobs in 2usize..=8,
+        seed in 0u64..1_000_000,
+    ) {
+        let serial = sharded_traces(cells, 1, seed, 20);
+        let sharded = sharded_traces(cells, jobs, seed, 20);
+        prop_assert_eq!(serial.len(), cells);
+        for (cell, (a, b)) in serial.iter().zip(&sharded).enumerate() {
+            prop_assert!(
+                a == b,
+                "cell {} of {} deviates at jobs={} seed={}",
+                cell, cells, jobs, seed
+            );
+        }
+    }
+}
